@@ -1,0 +1,22 @@
+//! # tetra-ast
+//!
+//! The abstract syntax tree for the Tetra educational parallel programming
+//! language, together with its static type language, a pretty-printer that
+//! emits canonical Tetra source, and a read-only visitor.
+//!
+//! The tree mirrors the language of the paper (§II): functions with typed
+//! parameters, Python-like statements, and the four parallel constructs as
+//! first-class statement forms — [`nodes::StmtKind::Parallel`],
+//! [`nodes::StmtKind::Background`], [`nodes::StmtKind::ParallelFor`] and
+//! [`nodes::StmtKind::Lock`].
+
+pub mod nodes;
+pub mod pretty;
+pub mod ty;
+pub mod visit;
+
+pub use nodes::{
+    AssignOp, BinOp, Block, Expr, ExprKind, FuncDef, NodeId, Param, Program, Stmt, StmtKind,
+    Target, UnOp,
+};
+pub use ty::Type;

@@ -1,0 +1,356 @@
+//! AST node definitions.
+//!
+//! Every expression and statement carries a [`Span`] for diagnostics and a
+//! [`NodeId`] that later passes use as a key into side tables (the type
+//! checker records the inferred type of every expression; the bytecode
+//! compiler and debugger consume those tables).
+
+use crate::ty::Type;
+use tetra_lexer::Span;
+
+/// A unique id assigned to every expression and statement by the parser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    pub const DUMMY: NodeId = NodeId(u32::MAX);
+}
+
+/// Binary operators, in increasing precedence groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinOp {
+    /// Source text of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Or => "or",
+            BinOp::And => "and",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Gt => ">",
+            BinOp::Le => "<=",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+        }
+    }
+
+    /// True for `==`, `!=`, `<`, `>`, `<=`, `>=`.
+    pub fn is_comparison(&self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge)
+    }
+
+    /// True for `+`, `-`, `*`, `/`, `%`.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+    }
+
+    /// True for `and` / `or` (short-circuiting).
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation `-x`.
+    Neg,
+    /// Logical negation `not x`.
+    Not,
+}
+
+impl UnOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Not => "not ",
+        }
+    }
+}
+
+/// Compound-assignment flavours; `Set` is plain `=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    Set,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl AssignOp {
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            AssignOp::Set => "=",
+            AssignOp::Add => "+=",
+            AssignOp::Sub => "-=",
+            AssignOp::Mul => "*=",
+            AssignOp::Div => "/=",
+            AssignOp::Mod => "%=",
+        }
+    }
+
+    /// The arithmetic operator a compound assignment expands to, if any.
+    pub fn binop(&self) -> Option<BinOp> {
+        match self {
+            AssignOp::Set => None,
+            AssignOp::Add => Some(BinOp::Add),
+            AssignOp::Sub => Some(BinOp::Sub),
+            AssignOp::Mul => Some(BinOp::Mul),
+            AssignOp::Div => Some(BinOp::Div),
+            AssignOp::Mod => Some(BinOp::Mod),
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub span: Span,
+    pub id: NodeId,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Real literal.
+    Real(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// The `none` literal.
+    None,
+    /// Variable reference.
+    Var(String),
+    /// Unary operation.
+    Unary { op: UnOp, operand: Box<Expr> },
+    /// Binary operation (including short-circuit `and`/`or`).
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// Function call; Tetra functions are named (no first-class closures).
+    Call { callee: String, args: Vec<Expr> },
+    /// Indexing: `a[i]` on arrays, strings, dicts and tuples.
+    Index { base: Box<Expr>, index: Box<Expr> },
+    /// Array literal `[a, b, c]`.
+    Array(Vec<Expr>),
+    /// Array range literal `[lo ... hi]` (inclusive), as in Fig. II's
+    /// `sum([1 ... 100])`.
+    Range { lo: Box<Expr>, hi: Box<Expr> },
+    /// Tuple literal `(a, b)` — requires ≥ 2 elements.
+    Tuple(Vec<Expr>),
+    /// Dict literal `{k1: v1, k2: v2}` / empty `{}` needs annotation via use.
+    Dict(Vec<(Expr, Expr)>),
+}
+
+/// The target of an assignment: a variable or an element of an indexable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// `x = ...`
+    Name { name: String, span: Span, id: NodeId },
+    /// `a[i] = ...` (base may itself be an index expression: `m[i][j]`).
+    Index { base: Expr, index: Expr, span: Span, id: NodeId },
+}
+
+impl Target {
+    pub fn span(&self) -> Span {
+        match self {
+            Target::Name { span, .. } | Target::Index { span, .. } => *span,
+        }
+    }
+
+    pub fn id(&self) -> NodeId {
+        match self {
+            Target::Name { id, .. } | Target::Index { id, .. } => *id,
+        }
+    }
+}
+
+/// A sequence of statements at one indentation level.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    pub stmts: Vec<Stmt>,
+}
+
+impl Block {
+    pub fn new(stmts: Vec<Stmt>) -> Self {
+        Block { stmts }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+    pub id: NodeId,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// An expression evaluated for its side effects (usually a call).
+    Expr(Expr),
+    /// `target op value`.
+    Assign { target: Target, op: AssignOp, value: Expr },
+    /// `if` / `elif` / `else` chain.
+    If {
+        cond: Expr,
+        then: Block,
+        elifs: Vec<(Expr, Block)>,
+        els: Option<Block>,
+    },
+    /// `while cond:` loop.
+    While { cond: Expr, body: Block },
+    /// `for var in seq:` loop.
+    For { var: String, var_id: NodeId, iter: Expr, body: Block },
+    /// `parallel for var in seq:` — iterations run concurrently; each worker
+    /// thread gets a private copy of the induction variable (paper §IV).
+    ParallelFor { var: String, var_id: NodeId, iter: Expr, body: Block },
+    /// `parallel:` — each child statement runs in its own thread; the block
+    /// joins all of them before continuing (paper §II).
+    Parallel { body: Block },
+    /// `background:` — like `parallel:` but does not join (paper §II).
+    Background { body: Block },
+    /// `lock name:` — mutual exclusion keyed by a name in its own namespace
+    /// (paper §II).
+    Lock { name: String, body: Block },
+    /// `return [expr]`.
+    Return(Option<Expr>),
+    /// `break` out of the nearest loop.
+    Break,
+    /// `continue` the nearest loop.
+    Continue,
+    /// `pass` — no operation.
+    Pass,
+    /// `assert cond [, message]` — error-handling extension (§VI).
+    Assert { cond: Expr, message: Option<Expr> },
+    /// `try:` / `catch err:` — error-handling extension (§VI). Runtime
+    /// errors raised in `body` (including errors propagated from spawned
+    /// threads at their join) bind their message to `err_name` and run
+    /// `handler`.
+    Try { body: Block, err_name: String, err_id: NodeId, handler: Block },
+}
+
+/// A function parameter with its declared type (mandatory, paper §II).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: Type,
+    pub span: Span,
+    pub id: NodeId,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub params: Vec<Param>,
+    /// Declared return type; `Type::None` when omitted.
+    pub ret: Type,
+    pub body: Block,
+    pub span: Span,
+    pub id: NodeId,
+}
+
+/// A whole Tetra program: a list of function definitions. Execution starts
+/// at `main()`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    pub funcs: Vec<FuncDef>,
+    /// Total number of [`NodeId`]s handed out by the parser; side tables may
+    /// be sized with this.
+    pub node_count: u32,
+}
+
+impl Program {
+    /// Look up a function definition by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDef> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// The index of a function in declaration order.
+    pub fn func_index(&self, name: &str) -> Option<usize> {
+        self.funcs.iter().position(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_op_expansion() {
+        assert_eq!(AssignOp::Add.binop(), Some(BinOp::Add));
+        assert_eq!(AssignOp::Set.binop(), None);
+        assert_eq!(AssignOp::Mod.binop(), Some(BinOp::Mod));
+    }
+
+    #[test]
+    fn binop_classification_is_disjoint() {
+        for op in [
+            BinOp::Or,
+            BinOp::And,
+            BinOp::Eq,
+            BinOp::Ne,
+            BinOp::Lt,
+            BinOp::Gt,
+            BinOp::Le,
+            BinOp::Ge,
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+        ] {
+            let classes =
+                [op.is_comparison(), op.is_arithmetic(), op.is_logical()].iter().filter(|b| **b).count();
+            assert_eq!(classes, 1, "{op:?} must be in exactly one class");
+        }
+    }
+
+    #[test]
+    fn program_function_lookup() {
+        let f = FuncDef {
+            name: "main".into(),
+            params: vec![],
+            ret: Type::None,
+            body: Block::default(),
+            span: Span::DUMMY,
+            id: NodeId(0),
+        };
+        let p = Program { funcs: vec![f], node_count: 1 };
+        assert!(p.func("main").is_some());
+        assert_eq!(p.func_index("main"), Some(0));
+        assert!(p.func("other").is_none());
+    }
+}

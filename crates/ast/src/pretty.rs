@@ -1,0 +1,498 @@
+//! Pretty-printing: AST → canonical Tetra source, and AST → indented tree
+//! dump (used by `tetra ast`).
+//!
+//! `to_source` emits parseable Tetra, which enables the round-trip property
+//! test in `tetra-parser`: `parse(to_source(parse(src)))` equals
+//! `parse(src)` modulo spans and node ids.
+
+use crate::nodes::*;
+use std::fmt::Write;
+
+/// Render a whole program as canonical Tetra source.
+pub fn to_source(program: &Program) -> String {
+    let mut p = Printer::default();
+    for (i, f) in program.funcs.iter().enumerate() {
+        if i > 0 {
+            p.out.push('\n');
+        }
+        p.func(f);
+    }
+    p.out
+}
+
+/// Render a single expression (useful in error messages and the debugger).
+pub fn expr_to_source(expr: &Expr) -> String {
+    let mut p = Printer::default();
+    p.expr(expr);
+    p.out
+}
+
+#[derive(Default)]
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn line_start(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn func(&mut self, f: &FuncDef) {
+        self.line_start();
+        write!(self.out, "def {}(", f.name).unwrap();
+        for (i, param) in f.params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            write!(self.out, "{} {}", param.name, param.ty).unwrap();
+        }
+        self.out.push(')');
+        if f.ret != crate::ty::Type::None {
+            write!(self.out, " {}", f.ret).unwrap();
+        }
+        self.out.push(':');
+        self.out.push('\n');
+        self.block(&f.body);
+    }
+
+    fn block(&mut self, b: &Block) {
+        self.indent += 1;
+        if b.stmts.is_empty() {
+            self.line_start();
+            self.out.push_str("pass\n");
+        }
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.line_start();
+        match &s.kind {
+            StmtKind::Expr(e) => {
+                self.expr(e);
+                self.out.push('\n');
+            }
+            StmtKind::Assign { target, op, value } => {
+                self.target(target);
+                write!(self.out, " {} ", op.symbol()).unwrap();
+                self.expr(value);
+                self.out.push('\n');
+            }
+            StmtKind::If { cond, then, elifs, els } => {
+                self.out.push_str("if ");
+                self.expr(cond);
+                self.out.push_str(":\n");
+                self.block(then);
+                for (c, b) in elifs {
+                    self.line_start();
+                    self.out.push_str("elif ");
+                    self.expr(c);
+                    self.out.push_str(":\n");
+                    self.block(b);
+                }
+                if let Some(b) = els {
+                    self.line_start();
+                    self.out.push_str("else:\n");
+                    self.block(b);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.out.push_str("while ");
+                self.expr(cond);
+                self.out.push_str(":\n");
+                self.block(body);
+            }
+            StmtKind::For { var, iter, body, .. } => {
+                write!(self.out, "for {var} in ").unwrap();
+                self.expr(iter);
+                self.out.push_str(":\n");
+                self.block(body);
+            }
+            StmtKind::ParallelFor { var, iter, body, .. } => {
+                write!(self.out, "parallel for {var} in ").unwrap();
+                self.expr(iter);
+                self.out.push_str(":\n");
+                self.block(body);
+            }
+            StmtKind::Parallel { body } => {
+                self.out.push_str("parallel:\n");
+                self.block(body);
+            }
+            StmtKind::Background { body } => {
+                self.out.push_str("background:\n");
+                self.block(body);
+            }
+            StmtKind::Lock { name, body } => {
+                writeln!(self.out, "lock {name}:").unwrap();
+                self.block(body);
+            }
+            StmtKind::Return(None) => self.out.push_str("return\n"),
+            StmtKind::Return(Some(e)) => {
+                self.out.push_str("return ");
+                self.expr(e);
+                self.out.push('\n');
+            }
+            StmtKind::Break => self.out.push_str("break\n"),
+            StmtKind::Continue => self.out.push_str("continue\n"),
+            StmtKind::Pass => self.out.push_str("pass\n"),
+            StmtKind::Assert { cond, message } => {
+                self.out.push_str("assert ");
+                self.expr(cond);
+                if let Some(m) = message {
+                    self.out.push_str(", ");
+                    self.expr(m);
+                }
+                self.out.push('\n');
+            }
+            StmtKind::Try { body, err_name, handler, .. } => {
+                self.out.push_str("try:\n");
+                self.block(body);
+                self.line_start();
+                writeln!(self.out, "catch {err_name}:").unwrap();
+                self.block(handler);
+            }
+        }
+    }
+
+    fn target(&mut self, t: &Target) {
+        match t {
+            Target::Name { name, .. } => self.out.push_str(name),
+            Target::Index { base, index, .. } => {
+                self.expr_prec(base, 100);
+                self.out.push('[');
+                self.expr(index);
+                self.out.push(']');
+            }
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        self.expr_prec(e, 0);
+    }
+
+    /// Precedence used for minimal parenthesization.
+    fn prec(op: BinOp) -> u8 {
+        match op {
+            BinOp::Or => 1,
+            BinOp::And => 2,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Gt | BinOp::Le | BinOp::Ge => 4,
+            BinOp::Add | BinOp::Sub => 5,
+            BinOp::Mul | BinOp::Div | BinOp::Mod => 6,
+        }
+    }
+
+    fn expr_prec(&mut self, e: &Expr, min: u8) {
+        match &e.kind {
+            ExprKind::Int(v) => write!(self.out, "{v}").unwrap(),
+            ExprKind::Real(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(self.out, "{v:.1}").unwrap()
+                } else {
+                    write!(self.out, "{v}").unwrap()
+                }
+            }
+            ExprKind::Str(s) => {
+                self.out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '\n' => self.out.push_str("\\n"),
+                        '\t' => self.out.push_str("\\t"),
+                        '\r' => self.out.push_str("\\r"),
+                        '\\' => self.out.push_str("\\\\"),
+                        '"' => self.out.push_str("\\\""),
+                        '\0' => self.out.push_str("\\0"),
+                        c => self.out.push(c),
+                    }
+                }
+                self.out.push('"');
+            }
+            ExprKind::Bool(v) => write!(self.out, "{v}").unwrap(),
+            ExprKind::None => self.out.push_str("none"),
+            ExprKind::Var(name) => self.out.push_str(name),
+            ExprKind::Unary { op, operand } => {
+                let need = min > 7;
+                if need {
+                    self.out.push('(');
+                }
+                self.out.push_str(op.symbol());
+                self.expr_prec(operand, 8);
+                if need {
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let p = Self::prec(*op);
+                let need = p < min;
+                if need {
+                    self.out.push('(');
+                }
+                self.expr_prec(lhs, p);
+                write!(self.out, " {} ", op.symbol()).unwrap();
+                // Left-associative: the right operand needs strictly higher
+                // precedence to avoid parentheses.
+                self.expr_prec(rhs, p + 1);
+                if need {
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Call { callee, args } => {
+                write!(self.out, "{callee}(").unwrap();
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Index { base, index } => {
+                self.expr_prec(base, 100);
+                self.out.push('[');
+                self.expr(index);
+                self.out.push(']');
+            }
+            ExprKind::Array(items) => {
+                self.out.push('[');
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(']');
+            }
+            ExprKind::Range { lo, hi } => {
+                self.out.push('[');
+                self.expr(lo);
+                self.out.push_str(" ... ");
+                self.expr(hi);
+                self.out.push(']');
+            }
+            ExprKind::Tuple(items) => {
+                self.out.push('(');
+                for (i, a) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(a);
+                }
+                self.out.push(')');
+            }
+            ExprKind::Dict(pairs) => {
+                self.out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(k);
+                    self.out.push_str(": ");
+                    self.expr(v);
+                }
+                self.out.push('}');
+            }
+        }
+    }
+}
+
+/// Render an indented tree dump of the AST (for `tetra ast`).
+pub fn tree(program: &Program) -> String {
+    let mut out = String::new();
+    for f in &program.funcs {
+        writeln!(
+            out,
+            "FuncDef {} ({}) -> {}",
+            f.name,
+            f.params
+                .iter()
+                .map(|p| format!("{} {}", p.name, p.ty))
+                .collect::<Vec<_>>()
+                .join(", "),
+            f.ret
+        )
+        .unwrap();
+        tree_block(&f.body, 1, &mut out);
+    }
+    out
+}
+
+fn tree_block(b: &Block, depth: usize, out: &mut String) {
+    for s in &b.stmts {
+        tree_stmt(s, depth, out);
+    }
+}
+
+fn pad(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn tree_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    pad(depth, out);
+    let line = s.span.line;
+    match &s.kind {
+        StmtKind::Expr(e) => writeln!(out, "Expr@{line} {}", expr_to_source(e)).unwrap(),
+        StmtKind::Assign { target, op, value } => {
+            let t = match target {
+                Target::Name { name, .. } => name.clone(),
+                Target::Index { base, index, .. } => {
+                    format!("{}[{}]", expr_to_source(base), expr_to_source(index))
+                }
+            };
+            writeln!(out, "Assign@{line} {t} {} {}", op.symbol(), expr_to_source(value)).unwrap()
+        }
+        StmtKind::If { cond, then, elifs, els } => {
+            writeln!(out, "If@{line} {}", expr_to_source(cond)).unwrap();
+            tree_block(then, depth + 1, out);
+            for (c, b) in elifs {
+                pad(depth, out);
+                writeln!(out, "Elif {}", expr_to_source(c)).unwrap();
+                tree_block(b, depth + 1, out);
+            }
+            if let Some(b) = els {
+                pad(depth, out);
+                writeln!(out, "Else").unwrap();
+                tree_block(b, depth + 1, out);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            writeln!(out, "While@{line} {}", expr_to_source(cond)).unwrap();
+            tree_block(body, depth + 1, out);
+        }
+        StmtKind::For { var, iter, body, .. } => {
+            writeln!(out, "For@{line} {var} in {}", expr_to_source(iter)).unwrap();
+            tree_block(body, depth + 1, out);
+        }
+        StmtKind::ParallelFor { var, iter, body, .. } => {
+            writeln!(out, "ParallelFor@{line} {var} in {}", expr_to_source(iter)).unwrap();
+            tree_block(body, depth + 1, out);
+        }
+        StmtKind::Parallel { body } => {
+            writeln!(out, "Parallel@{line}").unwrap();
+            tree_block(body, depth + 1, out);
+        }
+        StmtKind::Background { body } => {
+            writeln!(out, "Background@{line}").unwrap();
+            tree_block(body, depth + 1, out);
+        }
+        StmtKind::Lock { name, body } => {
+            writeln!(out, "Lock@{line} {name}").unwrap();
+            tree_block(body, depth + 1, out);
+        }
+        StmtKind::Return(e) => writeln!(
+            out,
+            "Return@{line}{}",
+            e.as_ref().map(|e| format!(" {}", expr_to_source(e))).unwrap_or_default()
+        )
+        .unwrap(),
+        StmtKind::Break => writeln!(out, "Break@{line}").unwrap(),
+        StmtKind::Continue => writeln!(out, "Continue@{line}").unwrap(),
+        StmtKind::Pass => writeln!(out, "Pass@{line}").unwrap(),
+        StmtKind::Assert { cond, .. } => {
+            writeln!(out, "Assert@{line} {}", expr_to_source(cond)).unwrap()
+        }
+        StmtKind::Try { body, err_name, handler, .. } => {
+            writeln!(out, "Try@{line}").unwrap();
+            tree_block(body, depth + 1, out);
+            pad(depth, out);
+            writeln!(out, "Catch {err_name}").unwrap();
+            tree_block(handler, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Type;
+    use tetra_lexer::Span;
+
+    fn e(kind: ExprKind) -> Expr {
+        Expr { kind, span: Span::DUMMY, id: NodeId::DUMMY }
+    }
+
+    #[test]
+    fn parenthesization_is_minimal() {
+        // (1 + 2) * 3
+        let sum = e(ExprKind::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(e(ExprKind::Int(1))),
+            rhs: Box::new(e(ExprKind::Int(2))),
+        });
+        let prod = e(ExprKind::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(sum),
+            rhs: Box::new(e(ExprKind::Int(3))),
+        });
+        assert_eq!(expr_to_source(&prod), "(1 + 2) * 3");
+
+        // 1 + 2 * 3 needs no parens.
+        let prod2 = e(ExprKind::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(e(ExprKind::Int(2))),
+            rhs: Box::new(e(ExprKind::Int(3))),
+        });
+        let sum2 = e(ExprKind::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(e(ExprKind::Int(1))),
+            rhs: Box::new(prod2),
+        });
+        assert_eq!(expr_to_source(&sum2), "1 + 2 * 3");
+    }
+
+    #[test]
+    fn left_associativity_forces_parens_on_right() {
+        // 1 - (2 - 3) must keep its parentheses.
+        let inner = e(ExprKind::Binary {
+            op: BinOp::Sub,
+            lhs: Box::new(e(ExprKind::Int(2))),
+            rhs: Box::new(e(ExprKind::Int(3))),
+        });
+        let outer = e(ExprKind::Binary {
+            op: BinOp::Sub,
+            lhs: Box::new(e(ExprKind::Int(1))),
+            rhs: Box::new(inner),
+        });
+        assert_eq!(expr_to_source(&outer), "1 - (2 - 3)");
+    }
+
+    #[test]
+    fn string_escapes_are_re_escaped() {
+        let s = e(ExprKind::Str("a\"b\n".into()));
+        assert_eq!(expr_to_source(&s), r#""a\"b\n""#);
+    }
+
+    #[test]
+    fn real_literals_keep_a_decimal_point() {
+        assert_eq!(expr_to_source(&e(ExprKind::Real(2.0))), "2.0");
+        assert_eq!(expr_to_source(&e(ExprKind::Real(2.5))), "2.5");
+    }
+
+    #[test]
+    fn empty_function_prints_pass() {
+        let f = FuncDef {
+            name: "noop".into(),
+            params: vec![],
+            ret: Type::None,
+            body: Block::default(),
+            span: Span::DUMMY,
+            id: NodeId::DUMMY,
+        };
+        let p = Program { funcs: vec![f], node_count: 0 };
+        assert_eq!(to_source(&p), "def noop():\n    pass\n");
+    }
+
+    #[test]
+    fn range_literal_prints_with_ellipsis() {
+        let r = e(ExprKind::Range {
+            lo: Box::new(e(ExprKind::Int(1))),
+            hi: Box::new(e(ExprKind::Int(100))),
+        });
+        assert_eq!(expr_to_source(&r), "[1 ... 100]");
+    }
+}

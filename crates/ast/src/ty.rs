@@ -1,0 +1,133 @@
+//! The Tetra static type language.
+//!
+//! Tetra is statically typed with local type inference (paper §II): function
+//! parameters and return values carry declared types; local variables get
+//! their types from first assignment. The primitive types are `int`, `real`,
+//! `string` and `bool`; compound types are arrays `[T]` (including nested,
+//! i.e. multi-dimensional) plus the paper's future-work extensions built
+//! here: dictionaries `{K: V}` and tuples `(T1, T2, ...)`.
+
+/// A Tetra type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE float (`real` in Tetra).
+    Real,
+    /// Immutable UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+    /// The unit type: functions with no declared return type return `none`.
+    None,
+    /// `[T]` — a mutable, heap-allocated, garbage-collected array.
+    Array(Box<Type>),
+    /// `{K: V}` — an associative array (future-work extension, §VI).
+    Dict(Box<Type>, Box<Type>),
+    /// `(T1, T2, ...)` — an immutable tuple (future-work extension, §VI).
+    Tuple(Vec<Type>),
+}
+
+impl Type {
+    /// Convenience constructor for `[elem]`.
+    pub fn array(elem: Type) -> Type {
+        Type::Array(Box::new(elem))
+    }
+
+    /// Convenience constructor for `{key: value}`.
+    pub fn dict(key: Type, value: Type) -> Type {
+        Type::Dict(Box::new(key), Box::new(value))
+    }
+
+    /// True for `int` and `real`, the types arithmetic operates on.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Type::Int | Type::Real)
+    }
+
+    /// True for types that may be compared with `<`, `<=`, `>`, `>=`.
+    pub fn is_ordered(&self) -> bool {
+        matches!(self, Type::Int | Type::Real | Type::Str)
+    }
+
+    /// True for types usable as dictionary keys (hashable, immutable).
+    pub fn is_hashable(&self) -> bool {
+        matches!(self, Type::Int | Type::Str | Type::Bool)
+    }
+
+    /// The element type produced by iterating a value of this type, if any
+    /// (`for x in seq`). Arrays yield elements; strings yield 1-char strings.
+    pub fn element(&self) -> Option<Type> {
+        match self {
+            Type::Array(t) => Some((**t).clone()),
+            Type::Str => Some(Type::Str),
+            _ => Option::None,
+        }
+    }
+}
+
+impl std::fmt::Display for Type {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Type::Int => write!(f, "int"),
+            Type::Real => write!(f, "real"),
+            Type::Str => write!(f, "string"),
+            Type::Bool => write!(f, "bool"),
+            Type::None => write!(f, "none"),
+            Type::Array(t) => write!(f, "[{t}]"),
+            Type::Dict(k, v) => write!(f, "{{{k}: {v}}}"),
+            Type::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_readably() {
+        assert_eq!(Type::Int.to_string(), "int");
+        assert_eq!(Type::array(Type::Int).to_string(), "[int]");
+        assert_eq!(Type::array(Type::array(Type::Real)).to_string(), "[[real]]");
+        assert_eq!(Type::dict(Type::Str, Type::Int).to_string(), "{string: int}");
+        assert_eq!(
+            Type::Tuple(vec![Type::Int, Type::Str]).to_string(),
+            "(int, string)"
+        );
+    }
+
+    #[test]
+    fn numeric_and_ordered_classification() {
+        assert!(Type::Int.is_numeric());
+        assert!(Type::Real.is_numeric());
+        assert!(!Type::Str.is_numeric());
+        assert!(Type::Str.is_ordered());
+        assert!(!Type::Bool.is_ordered());
+        assert!(!Type::array(Type::Int).is_ordered());
+    }
+
+    #[test]
+    fn hashable_keys() {
+        assert!(Type::Int.is_hashable());
+        assert!(Type::Str.is_hashable());
+        assert!(Type::Bool.is_hashable());
+        assert!(!Type::Real.is_hashable());
+        assert!(!Type::array(Type::Int).is_hashable());
+    }
+
+    #[test]
+    fn iteration_element_types() {
+        assert_eq!(Type::array(Type::Bool).element(), Some(Type::Bool));
+        assert_eq!(Type::Str.element(), Some(Type::Str));
+        assert_eq!(Type::Int.element(), None);
+    }
+}

@@ -1,0 +1,223 @@
+//! A read-only visitor over the AST.
+//!
+//! Used by passes that need a uniform walk — e.g. building the debugger's
+//! line table, collecting lock names, or counting parallel constructs —
+//! without each of them re-implementing recursion.
+
+use crate::nodes::*;
+
+/// Visitor callbacks. Every method has a default that continues the walk;
+/// override only what you need and call the `walk_*` helper to descend.
+pub trait Visitor {
+    fn visit_func(&mut self, f: &FuncDef) {
+        walk_func(self, f);
+    }
+    fn visit_stmt(&mut self, s: &Stmt) {
+        walk_stmt(self, s);
+    }
+    fn visit_expr(&mut self, e: &Expr) {
+        walk_expr(self, e);
+    }
+}
+
+/// Walk every function of a program.
+pub fn walk_program<V: Visitor + ?Sized>(v: &mut V, p: &Program) {
+    for f in &p.funcs {
+        v.visit_func(f);
+    }
+}
+
+/// Walk a function body.
+pub fn walk_func<V: Visitor + ?Sized>(v: &mut V, f: &FuncDef) {
+    walk_block(v, &f.body);
+}
+
+/// Walk every statement of a block.
+pub fn walk_block<V: Visitor + ?Sized>(v: &mut V, b: &Block) {
+    for s in &b.stmts {
+        v.visit_stmt(s);
+    }
+}
+
+/// Walk the children of one statement.
+pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
+    match &s.kind {
+        StmtKind::Expr(e) => v.visit_expr(e),
+        StmtKind::Assign { target, value, .. } => {
+            if let Target::Index { base, index, .. } = target {
+                v.visit_expr(base);
+                v.visit_expr(index);
+            }
+            v.visit_expr(value);
+        }
+        StmtKind::If { cond, then, elifs, els } => {
+            v.visit_expr(cond);
+            walk_block(v, then);
+            for (c, b) in elifs {
+                v.visit_expr(c);
+                walk_block(v, b);
+            }
+            if let Some(b) = els {
+                walk_block(v, b);
+            }
+        }
+        StmtKind::While { cond, body } => {
+            v.visit_expr(cond);
+            walk_block(v, body);
+        }
+        StmtKind::For { iter, body, .. } | StmtKind::ParallelFor { iter, body, .. } => {
+            v.visit_expr(iter);
+            walk_block(v, body);
+        }
+        StmtKind::Parallel { body } | StmtKind::Background { body } | StmtKind::Lock { body, .. } => {
+            walk_block(v, body);
+        }
+        StmtKind::Return(Some(e)) => v.visit_expr(e),
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue | StmtKind::Pass => {}
+        StmtKind::Assert { cond, message } => {
+            v.visit_expr(cond);
+            if let Some(m) = message {
+                v.visit_expr(m);
+            }
+        }
+        StmtKind::Try { body, handler, .. } => {
+            walk_block(v, body);
+            walk_block(v, handler);
+        }
+    }
+}
+
+/// Walk the children of one expression.
+pub fn walk_expr<V: Visitor + ?Sized>(v: &mut V, e: &Expr) {
+    match &e.kind {
+        ExprKind::Unary { operand, .. } => v.visit_expr(operand),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            v.visit_expr(lhs);
+            v.visit_expr(rhs);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            v.visit_expr(base);
+            v.visit_expr(index);
+        }
+        ExprKind::Array(items) | ExprKind::Tuple(items) => {
+            for a in items {
+                v.visit_expr(a);
+            }
+        }
+        ExprKind::Range { lo, hi } => {
+            v.visit_expr(lo);
+            v.visit_expr(hi);
+        }
+        ExprKind::Dict(pairs) => {
+            for (k, val) in pairs {
+                v.visit_expr(k);
+                v.visit_expr(val);
+            }
+        }
+        ExprKind::Int(_)
+        | ExprKind::Real(_)
+        | ExprKind::Str(_)
+        | ExprKind::Bool(_)
+        | ExprKind::None
+        | ExprKind::Var(_) => {}
+    }
+}
+
+/// Count statistics about parallel constructs — a small built-in consumer of
+/// the visitor used by the CLI's `check` output and by tests.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ParallelStats {
+    pub parallel_blocks: usize,
+    pub background_blocks: usize,
+    pub parallel_fors: usize,
+    pub lock_blocks: usize,
+    pub lock_names: Vec<String>,
+}
+
+impl ParallelStats {
+    pub fn of(program: &Program) -> Self {
+        let mut stats = ParallelStats::default();
+        walk_program(&mut stats, program);
+        stats.lock_names.sort();
+        stats.lock_names.dedup();
+        stats
+    }
+
+    /// True when the program uses any parallel construct at all.
+    pub fn uses_parallelism(&self) -> bool {
+        self.parallel_blocks + self.background_blocks + self.parallel_fors > 0
+    }
+}
+
+impl Visitor for ParallelStats {
+    fn visit_stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Parallel { .. } => self.parallel_blocks += 1,
+            StmtKind::Background { .. } => self.background_blocks += 1,
+            StmtKind::ParallelFor { .. } => self.parallel_fors += 1,
+            StmtKind::Lock { name, .. } => {
+                self.lock_blocks += 1;
+                self.lock_names.push(name.clone());
+            }
+            _ => {}
+        }
+        walk_stmt(self, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetra_lexer::Span;
+
+    fn stmt(kind: StmtKind) -> Stmt {
+        Stmt { kind, span: Span::DUMMY, id: NodeId::DUMMY }
+    }
+
+    #[test]
+    fn stats_count_nested_constructs() {
+        // parallel: { lock a: { pass }, lock a: { pass } }
+        let lock = |name: &str| {
+            stmt(StmtKind::Lock {
+                name: name.into(),
+                body: Block::new(vec![stmt(StmtKind::Pass)]),
+            })
+        };
+        let par = stmt(StmtKind::Parallel {
+            body: Block::new(vec![lock("a"), lock("a"), lock("b")]),
+        });
+        let f = FuncDef {
+            name: "main".into(),
+            params: vec![],
+            ret: crate::ty::Type::None,
+            body: Block::new(vec![par]),
+            span: Span::DUMMY,
+            id: NodeId::DUMMY,
+        };
+        let p = Program { funcs: vec![f], node_count: 0 };
+        let stats = ParallelStats::of(&p);
+        assert_eq!(stats.parallel_blocks, 1);
+        assert_eq!(stats.lock_blocks, 3);
+        assert_eq!(stats.lock_names, vec!["a".to_string(), "b".to_string()]);
+        assert!(stats.uses_parallelism());
+    }
+
+    #[test]
+    fn sequential_program_has_no_parallelism() {
+        let f = FuncDef {
+            name: "main".into(),
+            params: vec![],
+            ret: crate::ty::Type::None,
+            body: Block::new(vec![stmt(StmtKind::Pass)]),
+            span: Span::DUMMY,
+            id: NodeId::DUMMY,
+        };
+        let p = Program { funcs: vec![f], node_count: 0 };
+        assert!(!ParallelStats::of(&p).uses_parallelism());
+    }
+}

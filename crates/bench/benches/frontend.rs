@@ -1,0 +1,31 @@
+//! Supporting benchmark: front-end throughput (lex → parse → check →
+//! bytecode) on a generated many-function program. Not a paper table, but
+//! the IDE re-runs this pipeline on every edit, so it must stay fast.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tetra_bench::large_program;
+
+fn bench_frontend(c: &mut Criterion) {
+    let src = large_program(120);
+    let bytes = src.len() as u64;
+    let mut group = c.benchmark_group("frontend");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(bytes));
+    group.bench_function("lex", |b| {
+        b.iter(|| tetra::lexer::tokenize(&src).unwrap());
+    });
+    group.bench_function("lex_parse", |b| {
+        b.iter(|| tetra::parser::parse(&src).unwrap());
+    });
+    group.bench_function("lex_parse_check", |b| {
+        b.iter(|| tetra::types::check(tetra::parser::parse(&src).unwrap()).unwrap());
+    });
+    let typed = tetra::types::check(tetra::parser::parse(&src).unwrap()).unwrap();
+    group.bench_function("bytecode_compile", |b| {
+        b.iter(|| tetra::vm::compile(&typed));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E8 — the GIL ablation behind the paper's motivation (§I): "in a
+//! multi-threaded Python program, only one thread can actually run at a
+//! time. ... one cannot achieve speedup with a truly parallel program."
+//!
+//! Prints the side-by-side virtual-time tables (Tetra rising, GIL flat)
+//! and benchmarks both modes with Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetra::experiments::{render_table, simulated_speedup, simulated_speedup_with};
+use tetra::vm::CostModel;
+use tetra::{programs, BufferConsole, VmConfig};
+use tetra_bench::compile;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn print_tables() {
+    let src = programs::primes(10_000, 64);
+    let tetra_rows = simulated_speedup(&src, &THREADS).expect("tetra sweep");
+    let gil_rows =
+        simulated_speedup_with(&src, &THREADS, CostModel { gil: true, ..CostModel::default() })
+            .expect("gil sweep");
+    eprintln!();
+    eprint!("{}", render_table("E8a — primes on Tetra (no GIL): speedup rises", &tetra_rows));
+    eprint!(
+        "{}",
+        render_table("E8b — the same primes under a simulated GIL: flat at ~1x", &gil_rows)
+    );
+    eprintln!();
+}
+
+fn bench_gil(c: &mut Criterion) {
+    print_tables();
+    let program = compile(&programs::primes(3_000, 32));
+    let bytecode = program.bytecode();
+    let mut group = c.benchmark_group("e8_gil_ablation");
+    group.sample_size(10);
+    for gil in [false, true] {
+        let label = if gil { "gil" } else { "tetra" };
+        group.bench_with_input(BenchmarkId::new(label, 8), &gil, |b, &gil| {
+            b.iter(|| {
+                let console = BufferConsole::new();
+                let cfg = VmConfig {
+                    workers: 8,
+                    cost: CostModel { gil, ..CostModel::default() },
+                    ..VmConfig::default()
+                };
+                tetra::vm::run(&bytecode, cfg, console).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gil);
+criterion_main!(benches);

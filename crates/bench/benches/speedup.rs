@@ -1,0 +1,96 @@
+//! E5 & E6 — the paper's §IV speedup evaluation.
+//!
+//! "To test the speedup we used two Tetra programs: one which calculates
+//! the first million primes, and one which solves an instance of the
+//! travelling salesman problem. Each of these programs achieves
+//! approximately 5X speedup when run on 8 cores which is a 62.5%
+//! efficiency rate."
+//!
+//! This target prints both virtual-time speedup tables (the reproduction
+//! of the paper's numbers — deterministic on any host) and benchmarks the
+//! simulator's wall-clock throughput per thread count with Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetra::experiments::{render_table, simulated_speedup};
+use tetra::{programs, BufferConsole, VmConfig};
+use tetra_bench::compile;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn print_tables() {
+    let rows = simulated_speedup(&programs::primes(20_000, 64), &THREADS)
+        .expect("primes sweep");
+    eprintln!();
+    eprint!(
+        "{}",
+        render_table(
+            "E5 — primes workload, virtual time (paper: ~5x at T=8, 62.5% efficiency)",
+            &rows
+        )
+    );
+    let rows = simulated_speedup(&programs::tsp(9), &THREADS).expect("tsp sweep");
+    eprint!(
+        "{}",
+        render_table("E6 — travelling salesman workload, virtual time (paper: ~5x at T=8)", &rows)
+    );
+    eprintln!();
+}
+
+fn bench_primes(c: &mut Criterion) {
+    print_tables();
+    let program = compile(&programs::primes(4_000, 64));
+    let bytecode = program.bytecode();
+    let mut group = c.benchmark_group("e5_primes_sim");
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let console = BufferConsole::new();
+                let cfg = VmConfig { workers: t, ..VmConfig::default() };
+                tetra::vm::run(&bytecode, cfg, console).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_tsp(c: &mut Criterion) {
+    let program = compile(&programs::tsp(8));
+    let bytecode = program.bytecode();
+    let mut group = c.benchmark_group("e6_tsp_sim");
+    group.sample_size(10);
+    for threads in THREADS {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let console = BufferConsole::new();
+                let cfg = VmConfig { workers: t, ..VmConfig::default() };
+                tetra::vm::run(&bytecode, cfg, console).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_interp_wallclock(c: &mut Criterion) {
+    // Wall-clock speedup of the real-thread interpreter: only meaningful
+    // on a multi-core host; included so the harness is complete.
+    let program = compile(&programs::primes(3_000, 16));
+    let mut group = c.benchmark_group("e5_primes_interp_wallclock");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                let console = BufferConsole::new();
+                let cfg = tetra::InterpConfig {
+                    worker_threads: t,
+                    ..tetra::InterpConfig::default()
+                };
+                program.run_with(cfg, console).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primes, bench_tsp, bench_interp_wallclock);
+criterion_main!(benches);

@@ -1,0 +1,302 @@
+//! Subcommand implementations for the `tetra` driver.
+
+use crate::debug_cli;
+use std::sync::Arc;
+use tetra::{experiments, programs, InterpConfig, StdConsole, Tetra, VmConfig};
+
+const USAGE: &str = "\
+tetra — the Tetra educational parallel programming language
+
+USAGE:
+  tetra run <file.tet> [--threads N] [--gil] [--gc-stress] [--gc-stats] [--no-detect]
+  tetra check <file.tet>            parse + type-check only
+  tetra tokens <file.tet>           dump the token stream
+  tetra ast <file.tet>              dump the AST
+  tetra pretty <file.tet>           re-print canonical source
+  tetra disasm <file.tet> [--fold]  compile to bytecode and disassemble
+  tetra sim <file.tet> [--threads N] [--gil]
+                                    deterministic virtual-time run (VM)
+  tetra trace <file.tet> [--threads N]
+                                    run with tracing: thread timeline + data races
+  tetra debug <file.tet> [--threads N]
+                                    interactive parallel debugger (per-thread stepping)
+  tetra bench <primes|tsp|sum|gil> [--threads 1,2,4,8] [--scale N]
+                                    reproduce the paper's speedup tables (virtual time)
+";
+
+/// Parse `--flag value` style options out of the argument list.
+struct Opts {
+    positional: Vec<String>,
+    threads: Option<usize>,
+    thread_list: Vec<usize>,
+    scale: Option<i64>,
+    gil: bool,
+    gc_stress: bool,
+    gc_stats: bool,
+    no_detect: bool,
+    fold: bool,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        positional: Vec::new(),
+        threads: None,
+        thread_list: vec![1, 2, 4, 8],
+        scale: None,
+        gil: false,
+        gc_stress: false,
+        gc_stats: false,
+        no_detect: false,
+        fold: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                if v.contains(',') {
+                    o.thread_list = v
+                        .split(',')
+                        .map(|p| p.trim().parse::<usize>().map_err(|e| e.to_string()))
+                        .collect::<Result<_, _>>()?;
+                } else {
+                    let n = v.parse::<usize>().map_err(|e| e.to_string())?;
+                    o.threads = Some(n);
+                    o.thread_list = vec![n];
+                }
+            }
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                o.scale = Some(v.parse::<i64>().map_err(|e| e.to_string())?);
+            }
+            "--gil" => o.gil = true,
+            "--gc-stress" => o.gc_stress = true,
+            "--gc-stats" => o.gc_stats = true,
+            "--no-detect" => o.no_detect = true,
+            "--fold" => o.fold = true,
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`\n\n{USAGE}"))
+            }
+            other => o.positional.push(other.to_string()),
+        }
+    }
+    Ok(o)
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn compile_file(path: &str) -> Result<(Tetra, String), String> {
+    let src = read_source(path)?;
+    match Tetra::compile(&src) {
+        Ok(p) => Ok((p, src)),
+        Err(e) => Err(e.render()),
+    }
+}
+
+pub fn dispatch(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "run" => run(rest),
+        "check" => check(rest),
+        "tokens" => tokens(rest),
+        "ast" => ast(rest),
+        "pretty" => pretty(rest),
+        "disasm" => disasm(rest),
+        "sim" => sim(rest),
+        "trace" => trace(rest),
+        "debug" => debug(rest),
+        "bench" => bench(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+fn need_file(o: &Opts) -> Result<&str, String> {
+    o.positional.first().map(|s| s.as_str()).ok_or_else(|| USAGE.to_string())
+}
+
+fn interp_config(o: &Opts) -> InterpConfig {
+    let mut c = InterpConfig::default();
+    if let Some(t) = o.threads {
+        c.worker_threads = t;
+    }
+    c.gil = o.gil;
+    c.gc.stress = o.gc_stress;
+    c.detect_deadlocks = !o.no_detect;
+    c
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let (program, _src) = compile_file(need_file(&o)?)?;
+    let stats = program
+        .run_with(interp_config(&o), Arc::new(StdConsole))
+        .map_err(|e| e.to_string())?;
+    if o.gc_stats {
+        eprintln!(
+            "gc: {} allocations, {} collections, {} objects freed, {} live",
+            stats.gc.allocations, stats.gc.collections, stats.gc.objects_freed,
+            stats.gc.live_objects
+        );
+        eprintln!(
+            "threads: {} spawned; locks: {} acquisitions ({} contended)",
+            stats.threads_spawned, stats.lock_acquisitions.0, stats.lock_acquisitions.1
+        );
+    }
+    Ok(())
+}
+
+fn check(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let (program, _) = compile_file(need_file(&o)?)?;
+    let stats = tetra::ast::visit::ParallelStats::of(&program.typed().program);
+    println!(
+        "ok: {} function(s), {} parallel block(s), {} parallel for(s), {} background block(s), {} lock block(s)",
+        program.typed().program.funcs.len(),
+        stats.parallel_blocks,
+        stats.parallel_fors,
+        stats.background_blocks,
+        stats.lock_blocks,
+    );
+    if !stats.lock_names.is_empty() {
+        println!("lock names: {}", stats.lock_names.join(", "));
+    }
+    Ok(())
+}
+
+fn tokens(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let src = read_source(need_file(&o)?)?;
+    let toks = tetra::lexer::tokenize(&src).map_err(|e| e.render(&src))?;
+    for t in toks {
+        println!("{:>4}:{:<3} {:?}", t.span.line, t.span.col, t.kind);
+    }
+    Ok(())
+}
+
+fn ast(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let (program, _) = compile_file(need_file(&o)?)?;
+    print!("{}", tetra::ast::pretty::tree(&program.typed().program));
+    Ok(())
+}
+
+fn pretty(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let (program, _) = compile_file(need_file(&o)?)?;
+    print!("{}", tetra::ast::pretty::to_source(&program.typed().program));
+    Ok(())
+}
+
+fn disasm(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let (program, _) = compile_file(need_file(&o)?)?;
+    let (program, note) = if o.fold {
+        let (opt, stats) = program.optimized().map_err(|e| e.render())?;
+        (
+            opt,
+            format!(
+                "; folded {} expression(s), pruned {} branch(es), removed {} loop(s)\n",
+                stats.expressions_folded, stats.branches_pruned, stats.loops_removed
+            ),
+        )
+    } else {
+        (program, String::new())
+    };
+    let bc = program.bytecode();
+    print!("{note}");
+    println!("; {} unit(s), {} instruction(s)", bc.units.len(), bc.instruction_count());
+    print!("{}", tetra::vm::disassemble(&bc));
+    Ok(())
+}
+
+fn sim(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let (program, _) = compile_file(need_file(&o)?)?;
+    let cfg = VmConfig {
+        workers: o.threads.unwrap_or(4),
+        cost: tetra::vm::CostModel { gil: o.gil, ..Default::default() },
+        ..VmConfig::default()
+    };
+    let stats =
+        program.simulate_with(cfg, Arc::new(StdConsole)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "sim: {} virtual time units, {} instructions, {} thread(s), {} contended lock waits",
+        stats.virtual_elapsed, stats.instructions, stats.threads, stats.lock_contentions
+    );
+    Ok(())
+}
+
+fn trace(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let (program, _) = compile_file(need_file(&o)?)?;
+    let dbg = tetra::debugger::Debugger::tracer();
+    let interp = program.debug(interp_config(&o), Arc::new(StdConsole), dbg.clone());
+    let result = interp.run();
+    println!("\n=== thread timeline ===");
+    print!("{}", tetra::debugger::timeline::render(&dbg.events()));
+    let races = dbg.races();
+    if races.is_empty() {
+        println!("\nno data races detected");
+    } else {
+        println!("\n=== possible data races ===");
+        for r in races {
+            println!("  {}", r.message);
+        }
+    }
+    result.map(|_| ()).map_err(|e| e.to_string())
+}
+
+fn debug(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let (program, src) = compile_file(need_file(&o)?)?;
+    debug_cli::interactive(program, src, interp_config(&o))
+}
+
+fn bench(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let which = o.positional.first().map(|s| s.as_str()).unwrap_or("primes");
+    let threads = o.thread_list.clone();
+    let (title, src) = match which {
+        "primes" => (
+            "E5: primes workload (paper §IV) — virtual-time speedup",
+            programs::primes(o.scale.unwrap_or(20_000), 64),
+        ),
+        "tsp" => (
+            "E6: travelling salesman workload (paper §IV) — virtual-time speedup",
+            programs::tsp(o.scale.unwrap_or(9)),
+        ),
+        "sum" => (
+            "Fig. II parallel sum, scaled — virtual-time speedup",
+            format!(
+                "def main():\n    total = 0\n    parallel for i in [1 ... {}]:\n        lock t:\n            total += i\n    print(total)\n",
+                o.scale.unwrap_or(50_000)
+            ),
+        ),
+        "gil" => (
+            "E8: primes under a simulated GIL — speedup stays ~1x",
+            programs::primes(o.scale.unwrap_or(5_000), 64),
+        ),
+        other => return Err(format!("unknown benchmark `{other}` (primes|tsp|sum|gil)")),
+    };
+    let rows = if which == "gil" {
+        experiments::simulated_speedup_with(
+            &src,
+            &threads,
+            tetra::vm::CostModel { gil: true, ..Default::default() },
+        )
+    } else {
+        experiments::simulated_speedup(&src, &threads)
+    }
+    .map_err(|e| e.to_string())?;
+    print!("{}", experiments::render_table(title, &rows));
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! The interactive parallel debugger — the command-line form of the
+//! paper's IDE debugging workflow (§III): one "code view" per thread,
+//! stepped independently.
+//!
+//! Commands (also printed by `help`):
+//!
+//! ```text
+//! break <line>      set a breakpoint
+//! clear <line>      remove a breakpoint
+//! run               start / resume all threads
+//! threads           show every Tetra thread with state and current line
+//! paused            show suspended threads
+//! step <tid>        run one statement of thread <tid>
+//! cont <tid>        resume thread <tid> until the next breakpoint
+//! locals <tid>      show the variables visible to a paused thread
+//! where <tid>       show the source line a paused thread is stopped at
+//! watch <name>      pause any thread after it writes <name>
+//! hits              list recorded watchpoint hits
+//! races             show data races detected so far
+//! timeline          render the thread timeline
+//! quit              cancel the program and exit
+//! ```
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use tetra::{debugger::Debugger, InterpConfig, StdConsole, Tetra};
+
+pub fn interactive(program: Tetra, src: String, config: InterpConfig) -> Result<(), String> {
+    let dbg = Debugger::new(true);
+    let interp = program.debug(config, Arc::new(StdConsole), dbg.clone());
+    let runner = std::thread::spawn(move || interp.run());
+    println!("tetra debugger — program paused at entry; type `help` for commands");
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        print!("(tdb) ");
+        let _ = std::io::stdout().flush();
+        line.clear();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            dbg.stop();
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["help"] => println!("{}", HELP),
+            ["break", n] => match n.parse::<u32>() {
+                Ok(n) => {
+                    dbg.set_breakpoint(n);
+                    println!("breakpoint at line {n}");
+                }
+                Err(_) => println!("usage: break <line>"),
+            },
+            ["clear", n] => {
+                if let Ok(n) = n.parse::<u32>() {
+                    dbg.clear_breakpoint(n);
+                }
+            }
+            ["run"] => {
+                dbg.resume_all();
+                println!("running");
+            }
+            ["wait"] => {
+                // Block until some thread pauses (breakpoint hit) — the
+                // synchronization point for scripted sessions.
+                if dbg.wait_until(std::time::Duration::from_secs(10), |p| !p.is_empty()) {
+                    for p in dbg.paused() {
+                        println!("thread {} paused before line {}", p.thread, p.line);
+                    }
+                } else {
+                    println!("timed out: nothing paused");
+                }
+            }
+            ["watch", name] => {
+                dbg.watch(*name);
+                println!("watching writes to `{name}`");
+            }
+            ["unwatch", name] => {
+                dbg.unwatch(name);
+            }
+            ["hits"] => {
+                for (tid, name, line) in dbg.watch_hits() {
+                    println!("thread {tid} wrote `{name}` at line {line}");
+                }
+            }
+            ["paused"] => {
+                for p in dbg.paused() {
+                    println!("thread {} paused before line {}", p.thread, p.line);
+                }
+            }
+            ["step", t] => match t.parse::<u32>() {
+                Ok(t) => {
+                    dbg.step(t);
+                    // Give the thread a moment to land on its next statement.
+                    dbg.wait_until(std::time::Duration::from_secs(2), |paused| {
+                        paused.iter().any(|p| p.thread == t)
+                    });
+                    show_where(&dbg, &src, t);
+                }
+                Err(_) => println!("usage: step <tid>"),
+            },
+            ["cont", t] => {
+                if let Ok(t) = t.parse::<u32>() {
+                    dbg.resume(t);
+                }
+            }
+            ["locals", t] => match t.parse::<u32>() {
+                Ok(t) => match dbg.paused().iter().find(|p| p.thread == t) {
+                    Some(p) => {
+                        for (name, value) in &p.locals {
+                            println!("  {name} = {value}");
+                        }
+                    }
+                    None => println!("thread {t} is not paused"),
+                },
+                Err(_) => println!("usage: locals <tid>"),
+            },
+            ["where", t] => {
+                if let Ok(t) = t.parse::<u32>() {
+                    show_where(&dbg, &src, t);
+                }
+            }
+            ["threads"] => {
+                for p in dbg.paused() {
+                    println!("thread {}: paused before line {}", p.thread, p.line);
+                }
+            }
+            ["races"] => {
+                let races = dbg.races();
+                if races.is_empty() {
+                    println!("no data races detected so far");
+                }
+                for r in races {
+                    println!("  {}", r.message);
+                }
+            }
+            ["timeline"] => {
+                print!("{}", tetra::debugger::timeline::render(&dbg.events()));
+            }
+            ["quit"] | ["exit"] => {
+                dbg.stop();
+                break;
+            }
+            other => println!("unknown command {:?}; type `help`", other.join(" ")),
+        }
+        if runner.is_finished() {
+            break;
+        }
+    }
+
+    match runner.join() {
+        Ok(Ok(_)) => {
+            println!("program finished");
+            Ok(())
+        }
+        Ok(Err(e)) if e.kind == tetra::runtime::ErrorKind::Cancelled => {
+            println!("program cancelled");
+            Ok(())
+        }
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(_) => Err("the interpreter panicked".to_string()),
+    }
+}
+
+fn show_where(dbg: &Arc<Debugger>, src: &str, t: u32) {
+    match dbg.paused().iter().find(|p| p.thread == t) {
+        Some(p) => {
+            let text = src.lines().nth(p.line.saturating_sub(1) as usize).unwrap_or("");
+            println!("thread {} before line {}: {}", t, p.line, text.trim_end());
+        }
+        None => println!("thread {t} is not paused (running, blocked or finished)"),
+    }
+}
+
+const HELP: &str = "\
+  break <line>   set a breakpoint        clear <line>   remove it
+  run            resume all threads      wait           block until a pause
+  paused         list suspended threads
+  step <tid>     one statement of <tid>  cont <tid>     resume <tid>
+  locals <tid>   variables of <tid>      where <tid>    current source line
+  watch <name>   pause writers of <name> hits           list watch hits
+  races          detected data races     timeline       thread timeline
+  quit           cancel and exit";

@@ -1,0 +1,248 @@
+//! The Tetra programs used throughout the evaluation — including the two
+//! workloads of the paper's §IV measurement ("one which calculates the
+//! first million primes, and one which solves an instance of the travelling
+//! salesman problem") and the paper's three code figures.
+
+/// Fig. I — the sequential factorial program (verbatim from the paper).
+pub const FIG1_FACTORIAL: &str = "\
+# a simple factorial function
+def fact(x int) int:
+    if x == 0:
+        return 1
+    else:
+        return x * fact(x - 1)
+
+# a main function which handles I/O
+def main():
+    print(\"enter n: \")
+    n = read_int()
+    print(n, \"! = \", fact(n))
+";
+
+/// Fig. II — the two-thread parallel sum (verbatim from the paper).
+pub const FIG2_PARALLEL_SUM: &str = "\
+# sum a range of numbers
+def sumr(nums [int], a int, b int) int:
+    total = 0
+    i = a
+    while i <= b:
+        total += nums[i]
+        i += 1
+    return total
+
+# sum an array of numbers in parallel
+def sum(nums [int]) int:
+    mid = len(nums) / 2
+    parallel:
+        a = sumr(nums, 0, mid - 1)
+        b = sumr(nums, mid, len(nums) - 1)
+    return a + b
+
+# print the sum of 1 through 100
+def main():
+    print(sum([1 ... 100]))
+";
+
+/// Fig. III — parallel max with a double-checked lock (verbatim).
+pub const FIG3_PARALLEL_MAX: &str = "\
+# find the max of an array
+def max(nums [int]) int:
+    largest = 0
+    parallel for num in nums:
+        if num > largest:
+            lock largest:
+                if num > largest:
+                    largest = num
+    return largest
+
+# run it on some numbers
+def main():
+    nums = [18, 32, 96, 48, 60]
+    print(max(nums))
+";
+
+/// §IV primes workload: count primes below `limit` by trial division,
+/// split across a `parallel for` over candidate blocks. The paper computes
+/// "the first million primes"; the benchmark harness scales `limit` to the
+/// time budget — the *shape* of the speedup curve is limit-independent.
+pub fn primes(limit: i64, blocks: i64) -> String {
+    format!(
+        "\
+# count primes in [lo, hi) by trial division
+def count_block(lo int, hi int) int:
+    count = 0
+    n = lo
+    while n < hi:
+        if is_prime(n):
+            count += 1
+        n += 1
+    return count
+
+def is_prime(n int) bool:
+    if n < 2:
+        return false
+    if n < 4:
+        return true
+    if n % 2 == 0:
+        return false
+    d = 3
+    while d * d <= n:
+        if n % d == 0:
+            return false
+        d += 2
+    return true
+
+def main():
+    limit = {limit}
+    blocks = {blocks}
+    per = limit / blocks + 1
+    counts = fill(blocks, 0)
+    parallel for b in [0 ... blocks - 1]:
+        lo = b * per
+        hi = min(lo + per, limit)
+        counts[b] = count_block(lo, hi)
+    total = 0
+    for c in counts:
+        total += c
+    print(\"primes below \", limit, \": \", total)
+"
+    )
+}
+
+/// §IV travelling-salesman workload: exhaustive branch-and-bound over a
+/// deterministic pseudo-random distance matrix, parallelized over the
+/// first-hop city (one `parallel for` iteration per subtree, as the
+/// natural Tetra decomposition). `n` is the city count (n! growth — keep
+/// it small).
+pub fn tsp(n: i64) -> String {
+    format!(
+        "\
+# deterministic LCG so every run and engine sees the same matrix
+def make_matrix(n int) [[int]]:
+    m = fill(n, [0])
+    seed = 12345
+    i = 0
+    while i < n:
+        row = fill(n, 0)
+        j = 0
+        while j < n:
+            seed = (seed * 1103515245 + 12345) % 2147483648
+            if i == j:
+                row[j] = 0
+            else:
+                row[j] = seed % 90 + 10
+            j += 1
+        m[i] = row
+        i += 1
+    return m
+
+# best tour cost from `city` having visited `visited`, current cost `cost`
+def solve(m [[int]], visited [bool], city int, cost int, remaining int, best int) int:
+    if cost >= best:
+        return best
+    if remaining == 0:
+        total = cost + m[city][0]
+        if total < best:
+            return total
+        return best
+    next = 1
+    while next < len(visited):
+        if not visited[next]:
+            visited[next] = true
+            best = solve(m, visited, next, cost + m[city][next], remaining - 1, best)
+            visited[next] = false
+        next += 1
+    return best
+
+def subtree(m [[int]], first int, n int) int:
+    visited = fill(n, false)
+    visited[0] = true
+    visited[first] = true
+    return solve(m, visited, first, m[0][first], n - 2, 1000000)
+
+def main():
+    n = {n}
+    m = make_matrix(n)
+    results = fill(n, 1000000)
+    parallel for first in [1 ... n - 1]:
+        results[first] = subtree(m, first, n)
+    best = 1000000
+    for r in results:
+        if r < best:
+            best = r
+    print(\"best tour: \", best)
+"
+    )
+}
+
+/// E7 lock-contention microbenchmark: `iters` locked increments spread
+/// over the workers.
+pub fn locked_counter(iters: i64) -> String {
+    format!(
+        "\
+def main():
+    count = 0
+    parallel for i in [1 ... {iters}]:
+        lock c:
+            count += 1
+    print(count)
+"
+    )
+}
+
+/// The unlocked, racy variant (race-detector demos and the E7 ablation).
+pub fn racy_counter(iters: i64) -> String {
+    format!(
+        "\
+def main():
+    count = 0
+    parallel for i in [1 ... {iters}]:
+        count += 1
+    print(count)
+"
+    )
+}
+
+/// A guaranteed deadlock: two threads take two locks in opposite orders.
+/// Used by the debugger demos and failure-injection tests.
+pub const DEADLOCK: &str = "\
+def left():
+    lock a:
+        sleep(20)
+        lock b:
+            pass
+
+def right():
+    lock b:
+        sleep(20)
+        lock a:
+            pass
+
+def main():
+    parallel:
+        left()
+        right()
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_parse_and_check() {
+        for (name, src) in [
+            ("fig1", FIG1_FACTORIAL.to_string()),
+            ("fig2", FIG2_PARALLEL_SUM.to_string()),
+            ("fig3", FIG3_PARALLEL_MAX.to_string()),
+            ("primes", primes(1000, 4)),
+            ("tsp", tsp(6)),
+            ("locked", locked_counter(10)),
+            ("racy", racy_counter(10)),
+            ("deadlock", DEADLOCK.to_string()),
+        ] {
+            let parsed = tetra_parser::parse(&src)
+                .unwrap_or_else(|e| panic!("{name} parse: {e}\n{src}"));
+            tetra_types::check(parsed).unwrap_or_else(|e| panic!("{name} check: {e:?}"));
+        }
+    }
+}

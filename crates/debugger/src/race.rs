@@ -1,0 +1,265 @@
+//! Eraser-style lockset race detection.
+//!
+//! Tetra exists to teach students about race conditions (paper §II/§III:
+//! stepping threads helps "discover race conditions"). The detector
+//! automates the discovery: it watches every shared read/write event and
+//! applies the classic Eraser state machine (Savage et al., 1997):
+//!
+//! ```text
+//! Virgin ──first access──▶ Exclusive(t)
+//! Exclusive(t) ──access by u≠t──▶ Shared (read) / SharedModified (write)
+//! Shared/SharedModified: candidate lockset ∩= locks held at the access
+//! SharedModified with an empty lockset ⇒ data race
+//! ```
+//!
+//! Locations are either named variables in a specific frame or whole heap
+//! objects (array/dict element granularity is the object, which is the
+//! right teaching granularity: "this array is shared without a lock").
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+use tetra_interp::hooks::Loc;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Exclusive(u32),
+    Shared,
+    SharedModified,
+}
+
+#[derive(Debug, Clone)]
+struct VarState {
+    phase: Phase,
+    /// Candidate lockset (None until the variable becomes shared).
+    lockset: Option<BTreeSet<String>>,
+    name: String,
+}
+
+/// A reported data race.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RaceReport {
+    /// Source-level name (or `[element]` for container contents).
+    pub name: String,
+    /// Line of the access that emptied the lockset.
+    pub line: u32,
+    /// Thread performing that access.
+    pub thread: u32,
+    pub message: String,
+}
+
+/// The detector. Feed it every Read/Write event plus thread start/end
+/// events (the latter give it a lightweight happens-before edge: when a
+/// thread runs *alone* — e.g. main after joining a parallel block — its
+/// accesses cannot race, avoiding Eraser's classic after-join false
+/// positive).
+#[derive(Default)]
+pub struct LocksetDetector {
+    vars: HashMap<Loc, VarState>,
+    reported: HashSet<Loc>,
+    reports: Vec<RaceReport>,
+    live: HashSet<u32>,
+}
+
+impl LocksetDetector {
+    pub fn new() -> LocksetDetector {
+        LocksetDetector::default()
+    }
+
+    pub fn on_thread_start(&mut self, thread: u32) {
+        self.live.insert(thread);
+    }
+
+    pub fn on_thread_end(&mut self, thread: u32) {
+        self.live.remove(&thread);
+    }
+
+    pub fn on_access(
+        &mut self,
+        loc: &Loc,
+        name: &str,
+        thread: u32,
+        line: u32,
+        held: &[String],
+        is_write: bool,
+    ) {
+        self.live.insert(thread);
+        if self.live.len() <= 1 {
+            // The accessing thread runs alone: everything it touches is
+            // (re-)owned by it — the join happens-before edge.
+            self.vars.insert(
+                loc.clone(),
+                VarState {
+                    phase: Phase::Exclusive(thread),
+                    lockset: None,
+                    name: name.to_string(),
+                },
+            );
+            return;
+        }
+        let state = self.vars.entry(loc.clone()).or_insert_with(|| VarState {
+            phase: Phase::Exclusive(thread),
+            lockset: None,
+            name: name.to_string(),
+        });
+        match state.phase.clone() {
+            Phase::Exclusive(owner) if owner == thread => {
+                // Still single-threaded: nothing to check.
+            }
+            Phase::Exclusive(_) => {
+                // Second thread arrives: initialize the candidate lockset.
+                state.phase = if is_write { Phase::SharedModified } else { Phase::Shared };
+                state.lockset = Some(held.iter().cloned().collect());
+            }
+            Phase::Shared => {
+                if is_write {
+                    state.phase = Phase::SharedModified;
+                }
+                Self::intersect(state, held);
+            }
+            Phase::SharedModified => {
+                Self::intersect(state, held);
+            }
+        }
+        if state.phase == Phase::SharedModified
+            && state.lockset.as_ref().is_some_and(|l| l.is_empty())
+            && !self.reported.contains(loc)
+        {
+            self.reported.insert(loc.clone());
+            let kind = if is_write { "written" } else { "read" };
+            self.reports.push(RaceReport {
+                name: state.name.clone(),
+                line,
+                thread,
+                message: format!(
+                    "possible data race: `{}` is {kind} by thread {thread} at line {line} \
+                     with no lock consistently protecting it",
+                    state.name
+                ),
+            });
+        }
+    }
+
+    fn intersect(state: &mut VarState, held: &[String]) {
+        if let Some(lockset) = &mut state.lockset {
+            lockset.retain(|l| held.contains(l));
+        }
+    }
+
+    pub fn reports(&self) -> Vec<RaceReport> {
+        self.reports.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var_loc() -> Loc {
+        Loc::Frame(0x1000, "counter".into())
+    }
+
+    #[test]
+    fn single_thread_access_is_never_a_race() {
+        let mut d = LocksetDetector::new();
+        for i in 0..100 {
+            d.on_access(&var_loc(), "counter", 0, i, &[], true);
+        }
+        assert!(d.reports().is_empty());
+    }
+
+    #[test]
+    fn unlocked_shared_write_is_a_race() {
+        let mut d = LocksetDetector::new();
+        d.on_access(&var_loc(), "counter", 0, 3, &[], true);
+        d.on_access(&var_loc(), "counter", 1, 5, &[], true);
+        let reports = d.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "counter");
+        assert_eq!(reports[0].line, 5);
+        assert!(reports[0].message.contains("data race"));
+    }
+
+    #[test]
+    fn consistently_locked_access_is_clean() {
+        let mut d = LocksetDetector::new();
+        let m = vec!["m".to_string()];
+        d.on_access(&var_loc(), "counter", 0, 3, &m, true);
+        d.on_access(&var_loc(), "counter", 1, 5, &m, true);
+        d.on_access(&var_loc(), "counter", 2, 5, &m, false);
+        assert!(d.reports().is_empty());
+    }
+
+    #[test]
+    fn inconsistent_locks_are_a_race() {
+        // Eraser semantics: the candidate lockset starts at the *second*
+        // thread's access ({b}), so the race surfaces on the third access
+        // when {b} ∩ {a} becomes empty.
+        let mut d = LocksetDetector::new();
+        d.on_thread_start(0);
+        d.on_thread_start(1);
+        d.on_access(&var_loc(), "counter", 0, 3, &["a".into()], true);
+        d.on_access(&var_loc(), "counter", 1, 5, &["b".into()], true);
+        assert!(d.reports().is_empty(), "not yet provably inconsistent");
+        d.on_access(&var_loc(), "counter", 0, 7, &["a".into()], true);
+        assert_eq!(d.reports().len(), 1);
+    }
+
+    #[test]
+    fn after_join_reads_are_not_flagged() {
+        let mut d = LocksetDetector::new();
+        d.on_thread_start(0);
+        d.on_thread_start(1);
+        // Properly locked sharing while both threads live.
+        d.on_access(&var_loc(), "counter", 0, 3, &["m".into()], true);
+        d.on_access(&var_loc(), "counter", 1, 3, &["m".into()], true);
+        // Worker finishes; main reads without the lock — fine after a join.
+        d.on_thread_end(1);
+        d.on_access(&var_loc(), "counter", 0, 9, &[], false);
+        assert!(d.reports().is_empty(), "{:?}", d.reports());
+    }
+
+    #[test]
+    fn shared_read_only_is_clean() {
+        let mut d = LocksetDetector::new();
+        d.on_access(&var_loc(), "counter", 0, 3, &[], true); // init by one thread
+        d.on_access(&var_loc(), "counter", 1, 5, &[], false);
+        d.on_access(&var_loc(), "counter", 2, 5, &[], false);
+        assert!(d.reports().is_empty(), "read-sharing after init is the Eraser exception");
+    }
+
+    #[test]
+    fn race_reported_once_per_location() {
+        let mut d = LocksetDetector::new();
+        d.on_access(&var_loc(), "counter", 0, 3, &[], true);
+        for i in 0..10 {
+            d.on_access(&var_loc(), "counter", 1, 5 + i, &[], true);
+        }
+        assert_eq!(d.reports().len(), 1);
+    }
+
+    #[test]
+    fn distinct_locations_are_tracked_separately() {
+        let mut d = LocksetDetector::new();
+        let a = Loc::Frame(0x1, "x".into());
+        let b = Loc::Obj(0x2);
+        d.on_access(&a, "x", 0, 1, &[], true);
+        d.on_access(&b, "[element]", 0, 2, &[], true);
+        d.on_access(&a, "x", 1, 3, &[], true);
+        d.on_access(&b, "[element]", 1, 4, &[], true);
+        assert_eq!(d.reports().len(), 2);
+    }
+
+    #[test]
+    fn double_checked_lock_pattern_is_flagged_on_the_unlocked_read() {
+        // Fig. III's pattern: unlocked read, then locked re-check + write.
+        // Eraser flags the unlocked read of `largest` — a true (benign-by-
+        // design) race the paper itself discusses; great teaching output.
+        let mut d = LocksetDetector::new();
+        let m = vec!["largest".to_string()];
+        d.on_access(&var_loc(), "largest", 1, 4, &[], false); // unlocked read
+        d.on_access(&var_loc(), "largest", 2, 4, &[], false); // unlocked read
+        d.on_access(&var_loc(), "largest", 1, 7, &m, true); // locked write
+        let reports = d.reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "largest");
+    }
+}

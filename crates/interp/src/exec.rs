@@ -1,0 +1,424 @@
+//! Statement execution, including the four parallel constructs.
+//!
+//! Per the paper (§IV):
+//! * `parallel:` — "launches one thread for each child node ... and waits
+//!   for each of those threads to join before moving on";
+//! * `background:` — "does not join the threads which were spawned";
+//! * `parallel for` — workers get "their copy of the induction variable
+//!   inserted into their private symbol table";
+//! * `lock` — a named mutex held for the block's duration.
+//!
+//! Spawned threads share the parent's environment frames (the shared symbol
+//! tables), register with the GC *before* the OS thread starts (so a
+//! collection can never miss them), and block inside GC safe regions.
+
+use crate::hooks::{ExecEvent, Loc};
+use crate::thread::{SpawnRoots, ThreadCtx, THREAD_STACK_SIZE};
+
+use tetra_ast::{AssignOp, Block, Expr, Stmt, StmtKind, Target};
+use tetra_runtime::{
+    Env, ErrorKind, Object, RuntimeError, ThreadKind, ThreadState, Value,
+};
+
+/// Control flow result of a statement.
+#[derive(Debug)]
+pub enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+impl ThreadCtx {
+    /// Execute a block, stopping at the first non-normal flow.
+    pub fn exec_block(&mut self, block: &Block) -> Result<Flow, RuntimeError> {
+        for stmt in &block.stmts {
+            match self.exec_stmt(stmt)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    pub fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow, RuntimeError> {
+        self.statement_prologue(stmt)?;
+        match &stmt.kind {
+            StmtKind::Pass => Ok(Flow::Normal),
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Expr(e) => {
+                self.with_gil(|me| me.eval(e))?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return(value) => {
+                let v = match value {
+                    Some(e) => self.with_gil(|me| me.eval(e))?,
+                    None => Value::None,
+                };
+                Ok(Flow::Return(v))
+            }
+            StmtKind::Assert { cond, message } => {
+                let ok = self.with_gil(|me| me.eval_bool(cond))?;
+                if !ok {
+                    let msg = match message {
+                        Some(m) => {
+                            let v = self.with_gil(|me| me.eval(m))?;
+                            v.display()
+                        }
+                        None => format!(
+                            "assert failed: {}",
+                            tetra_ast::pretty::expr_to_source(cond)
+                        ),
+                    };
+                    return Err(self.err(ErrorKind::AssertionFailed, msg));
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Assign { target, op, value } => {
+                self.with_gil(|me| me.exec_assign(target, *op, value))?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { cond, then, elifs, els } => {
+                if self.with_gil(|me| me.eval_bool(cond))? {
+                    return self.exec_block(then);
+                }
+                for (c, b) in elifs {
+                    if self.with_gil(|me| me.eval_bool(c))? {
+                        return self.exec_block(b);
+                    }
+                }
+                match els {
+                    Some(b) => self.exec_block(b),
+                    None => Ok(Flow::Normal),
+                }
+            }
+            StmtKind::While { cond, body } => {
+                while self.with_gil(|me| me.eval_bool(cond))? {
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::For { var, iter, body, .. } => {
+                let items = self.with_gil(|me| me.eval_iterable(iter))?;
+                // Keep the container (temps) rooted for the loop's duration.
+                let mark = self.temp_mark();
+                for v in &items {
+                    self.push_temp(*v);
+                }
+                let mut flow = Flow::Normal;
+                for item in items {
+                    self.current_env().define(var, item);
+                    match self.exec_block(body)? {
+                        Flow::Break => break,
+                        Flow::Continue | Flow::Normal => {}
+                        ret @ Flow::Return(_) => {
+                            flow = ret;
+                            break;
+                        }
+                    }
+                }
+                self.truncate_temps(mark);
+                Ok(flow)
+            }
+            StmtKind::Lock { name, body } => self.exec_lock(name, body, stmt.span.line),
+            StmtKind::Parallel { body } => {
+                self.exec_parallel(body)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Background { body } => {
+                self.exec_background(body)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::ParallelFor { var, iter, body, .. } => {
+                let items = self.with_gil(|me| me.eval_iterable(iter))?;
+                self.exec_parallel_for(var, items, body)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Try { body, err_name, handler, .. } => {
+                match self.exec_block(body) {
+                    Ok(flow) => Ok(flow),
+                    // A debugger cancellation must tear the program down.
+                    Err(e) if e.kind == ErrorKind::Cancelled => Err(e),
+                    Err(e) => {
+                        // Bind the message and run the handler. Errors from
+                        // spawned threads arrive here through their join.
+                        let msg = self.alloc_string(e.message.clone());
+                        self.current_env().set(err_name, msg);
+                        self.exec_block(handler)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Evaluate a `for`/`parallel for` sequence into a snapshot of items.
+    /// Arrays are snapshotted at loop entry (concurrent `append`s during the
+    /// loop do not change the iteration).
+    fn eval_iterable(&mut self, iter: &Expr) -> Result<Vec<Value>, RuntimeError> {
+        let mark = self.temp_mark();
+        let v = self.eval(iter)?;
+        self.push_temp(v);
+        let result = match v {
+            Value::Obj(r) => match r.object() {
+                Object::Array(items) => Ok(items.lock().clone()),
+                Object::Str(s) => {
+                    // One 1-character string per char; root progressively.
+                    let chars: Vec<String> = s.chars().map(|c| c.to_string()).collect();
+                    let mut out = Vec::with_capacity(chars.len());
+                    for c in chars {
+                        let sv = self.alloc_string(c);
+                        self.push_temp(sv);
+                        out.push(sv);
+                    }
+                    Ok(out)
+                }
+                _ => Err(self.err(
+                    ErrorKind::Value,
+                    format!("cannot iterate over a {}", v.type_name()),
+                )),
+            },
+            other => Err(self.err(
+                ErrorKind::Value,
+                format!("cannot iterate over a {}", other.type_name()),
+            )),
+        };
+        self.truncate_temps(mark);
+        result
+    }
+
+    fn exec_assign(
+        &mut self,
+        target: &Target,
+        op: AssignOp,
+        value: &Expr,
+    ) -> Result<(), RuntimeError> {
+        match target {
+            Target::Name { name, .. } => {
+                let new = match op.binop() {
+                    None => self.eval(value)?,
+                    Some(binop) => {
+                        let current = self.current_env().get(name).ok_or_else(|| {
+                            self.err(
+                                ErrorKind::UndefinedVariable,
+                                format!("variable `{name}` was read before any assignment"),
+                            )
+                        })?;
+                        let mark = self.temp_mark();
+                        self.push_temp(current);
+                        let rhs = self.eval(value)?;
+                        self.push_temp(rhs);
+                        let out = self.apply_binop(binop, current, rhs);
+                        self.truncate_temps(mark);
+                        out?
+                    }
+                };
+                // Keep runtime reals real when the checker said so.
+                let new = tetra_stdlib::ops::widen_like(self.current_env().get(name), new);
+                let frame = self.current_env().set_located(name, new);
+                self.emit_write(Loc::Frame(frame, name.clone()), name);
+                Ok(())
+            }
+            Target::Index { base, index, .. } => {
+                let mark = self.temp_mark();
+                let b = self.eval(base)?;
+                self.push_temp(b);
+                let i = self.eval(index)?;
+                self.push_temp(i);
+                let result = (|| {
+                    let new = match op.binop() {
+                        None => self.eval(value)?,
+                        Some(binop) => {
+                            let current = self.index_read(b, i)?;
+                            self.push_temp(current);
+                            let rhs = self.eval(value)?;
+                            self.push_temp(rhs);
+                            self.apply_binop(binop, current, rhs)?
+                        }
+                    };
+                    self.push_temp(new);
+                    self.index_write(b, i, new)
+                })();
+                self.truncate_temps(mark);
+                result
+            }
+        }
+    }
+
+
+    // ---- parallel constructs ------------------------------------------------
+
+    fn exec_lock(&mut self, name: &str, body: &Block, line: u32) -> Result<Flow, RuntimeError> {
+        let tid = self.cell.id;
+        self.emit(ExecEvent::LockWait { id: tid, name: name.to_string(), line });
+        self.cell.set_state(ThreadState::WaitingLock);
+        self.cell.set_waiting_lock(Some(name.to_string()));
+        let locks = self.shared.locks.clone();
+        let acquired = self.safe_region(|| locks.acquire(tid, name, line));
+        self.cell.set_waiting_lock(None);
+        self.cell.set_state(ThreadState::Running);
+        acquired?;
+        self.emit(ExecEvent::LockAcquired { id: tid, name: name.to_string(), line });
+        self.held_locks.push(name.to_string());
+        let result = self.exec_block(body);
+        self.held_locks.pop();
+        self.shared.locks.release(tid, name);
+        self.emit(ExecEvent::LockReleased { id: tid, name: name.to_string() });
+        result
+    }
+
+    /// Spawn one thread per child statement and join them all.
+    fn exec_parallel(&mut self, body: &Block) -> Result<(), RuntimeError> {
+        let handles = self.spawn_statements(body, ThreadKind::Parallel)?;
+        self.join_children(handles)
+    }
+
+    /// Spawn one thread per child statement without joining.
+    fn exec_background(&mut self, body: &Block) -> Result<(), RuntimeError> {
+        let handles = self.spawn_statements(body, ThreadKind::Background)?;
+        self.shared.background.lock().extend(handles);
+        Ok(())
+    }
+
+    fn spawn_statements(
+        &mut self,
+        body: &Block,
+        kind: ThreadKind,
+    ) -> Result<Vec<std::thread::JoinHandle<Result<(), RuntimeError>>>, RuntimeError> {
+        let frames = self.current_env().frames().to_vec();
+        let mut handles = Vec::with_capacity(body.stmts.len());
+        for stmt in &body.stmts {
+            let stmt: Stmt = stmt.clone();
+            let shared = self.shared.clone();
+            let env = Env::from_frames(frames.clone());
+            // Register the child with the GC before its OS thread exists.
+            let guard = shared
+                .heap
+                .register_spawned(&SpawnRoots { frames: frames.clone(), values: vec![] });
+            let cell = shared.threads.spawn(Some(self.cell.id), kind);
+            self.emit(ExecEvent::ThreadStart {
+                id: cell.id,
+                kind,
+                parent: Some(self.cell.id),
+                line: stmt.span.line,
+            });
+            let handle = std::thread::Builder::new()
+                .name(format!("tetra-{}", cell.id))
+                .stack_size(THREAD_STACK_SIZE)
+                .spawn(move || {
+                    let mut ctx = ThreadCtx::new_child(shared, guard, cell, env, vec![]);
+                    let result = ctx.exec_stmt(&stmt).map(|_| ());
+                    ctx.finish_thread();
+                    result
+                })
+                .map_err(|e| {
+                    self.err(ErrorKind::Io, format!("could not spawn a thread: {e}"))
+                })?;
+            handles.push(handle);
+        }
+        Ok(handles)
+    }
+
+    fn exec_parallel_for(
+        &mut self,
+        var: &str,
+        items: Vec<Value>,
+        body: &Block,
+    ) -> Result<(), RuntimeError> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let workers = self.shared.config.worker_threads.clamp(1, items.len());
+        let frames = self.current_env().frames().to_vec();
+        // Contiguous chunks, as even as possible.
+        let per = items.len().div_ceil(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for chunk in items.chunks(per) {
+            let chunk: Vec<Value> = chunk.to_vec();
+            let shared = self.shared.clone();
+            let var = var.to_string();
+            let body: Block = body.clone();
+            let guard = shared.heap.register_spawned(&SpawnRoots {
+                frames: frames.clone(),
+                values: chunk.clone(),
+            });
+            let cell = shared.threads.spawn(Some(self.cell.id), ThreadKind::ParallelFor);
+            self.emit(ExecEvent::ThreadStart {
+                id: cell.id,
+                kind: ThreadKind::ParallelFor,
+                parent: Some(self.cell.id),
+                line: self.line,
+            });
+            // The worker's private frame holds its induction variable copy.
+            let env = Env::from_frames(frames.clone()).with_private_frame();
+            let handle = std::thread::Builder::new()
+                .name(format!("tetra-{}", cell.id))
+                .stack_size(THREAD_STACK_SIZE)
+                .spawn(move || {
+                    let mut ctx =
+                        ThreadCtx::new_child(shared, guard, cell, env, chunk.clone());
+                    let mut result = Ok(());
+                    for item in chunk {
+                        ctx.current_env().define(&var, item);
+                        if let Err(e) = ctx.exec_block(&body) {
+                            result = Err(e);
+                            break;
+                        }
+                    }
+                    ctx.finish_thread();
+                    result
+                })
+                .map_err(|e| {
+                    self.err(ErrorKind::Io, format!("could not spawn a thread: {e}"))
+                })?;
+            handles.push(handle);
+        }
+        self.join_children(handles)
+    }
+
+    /// Join spawned children inside a GC safe region, propagating the first
+    /// child error.
+    fn join_children(
+        &mut self,
+        handles: Vec<std::thread::JoinHandle<Result<(), RuntimeError>>>,
+    ) -> Result<(), RuntimeError> {
+        self.cell.set_state(ThreadState::Joining);
+        let results: Vec<std::thread::Result<Result<(), RuntimeError>>> =
+            self.safe_region(|| handles.into_iter().map(|h| h.join()).collect());
+        self.cell.set_state(ThreadState::Running);
+        let mut first_error: Option<RuntimeError> = None;
+        for r in results {
+            match r {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Err(_) => {
+                    if first_error.is_none() {
+                        first_error = Some(self.err(
+                            ErrorKind::ThreadError,
+                            "a spawned thread panicked (this is a bug in the interpreter)",
+                        ));
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Mark the thread finished and emit its end event.
+    pub fn finish_thread(&mut self) {
+        self.cell.set_state(ThreadState::Finished);
+        self.emit(ExecEvent::ThreadEnd { id: self.cell.id });
+    }
+}
+

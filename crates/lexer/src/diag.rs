@@ -1,0 +1,142 @@
+//! Diagnostics shared by every front-end stage.
+//!
+//! Tetra is an educational language, so error messages matter more than in a
+//! production compiler: each diagnostic renders the offending source line
+//! with a caret underneath, in the style students know from rustc/Python.
+
+use crate::span::Span;
+
+/// Which stage produced the diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Lexical analysis (bad characters, indentation errors).
+    Lex,
+    /// Parsing (unexpected tokens).
+    Parse,
+    /// Type checking / inference.
+    Type,
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Stage::Lex => "syntax error",
+            Stage::Parse => "syntax error",
+            Stage::Type => "type error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single compiler diagnostic: message, location, optional help text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub stage: Stage,
+    pub message: String,
+    pub span: Span,
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    pub fn new(stage: Stage, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { stage, message: message.into(), span, help: None }
+    }
+
+    /// Attach a "help:" line shown under the caret.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+
+    /// Render the diagnostic against the source text it refers to.
+    ///
+    /// Produces output of the form:
+    /// ```text
+    /// type error at 3:9: cannot add int and string
+    ///     total = n + name
+    ///             ^^^^^^^^
+    /// help: convert with str(n) or parse with int(name)
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = String::new();
+        if self.span == Span::DUMMY {
+            out.push_str(&format!("{}: {}", self.stage, self.message));
+        } else {
+            out.push_str(&format!(
+                "{} at {}:{}: {}",
+                self.stage, self.span.line, self.span.col, self.message
+            ));
+            if let Some(line_text) = source.lines().nth(self.span.line.saturating_sub(1) as usize) {
+                out.push_str(&format!("\n    {}\n    ", line_text));
+                // Column is 1-based and counted in characters.
+                for _ in 1..self.span.col {
+                    out.push(' ');
+                }
+                let width = self.caret_width(line_text);
+                for _ in 0..width {
+                    out.push('^');
+                }
+            }
+        }
+        if let Some(h) = &self.help {
+            out.push_str(&format!("\nhelp: {h}"));
+        }
+        out
+    }
+
+    /// How many carets to draw: the span length clamped to the rest of the
+    /// line, and at least one.
+    fn caret_width(&self, line_text: &str) -> usize {
+        let remaining = line_text.chars().count().saturating_sub(self.span.col as usize - 1);
+        (self.span.len() as usize).clamp(1, remaining.max(1))
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.span == Span::DUMMY {
+            write!(f, "{}: {}", self.stage, self.message)
+        } else {
+            write!(f, "{} at {}:{}: {}", self.stage, self.span.line, self.span.col, self.message)
+        }
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_caret_under_offending_token() {
+        let src = "x = 1\ny = @\n";
+        let d = Diagnostic::new(Stage::Lex, "unexpected character '@'", Span::new(10, 11, 2, 5));
+        let rendered = d.render(src);
+        assert!(rendered.contains("syntax error at 2:5"), "{rendered}");
+        assert!(rendered.contains("y = @"), "{rendered}");
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(caret_line, "        ^");
+    }
+
+    #[test]
+    fn renders_help_line() {
+        let d = Diagnostic::new(Stage::Type, "bad", Span::DUMMY).with_help("try harder");
+        assert!(d.render("").ends_with("help: try harder"));
+    }
+
+    #[test]
+    fn caret_width_clamps_to_line_end() {
+        let src = "ab";
+        let d = Diagnostic::new(Stage::Parse, "x", Span::new(0, 99, 1, 1));
+        let rendered = d.render(src);
+        let caret_line = rendered.lines().last().unwrap();
+        assert_eq!(caret_line.trim(), "^^");
+    }
+
+    #[test]
+    fn display_without_span() {
+        let d = Diagnostic::new(Stage::Type, "mismatch", Span::DUMMY);
+        assert_eq!(d.to_string(), "type error: mismatch");
+    }
+}

@@ -1,0 +1,705 @@
+//! The hand-written Tetra lexer.
+//!
+//! The paper notes the lexical analyzer was "hand-written, which was
+//! necessary to handle the significant white space in Tetra" — the same is
+//! true here. The lexer turns raw source into a flat token stream with
+//! synthesized `Newline` / `Indent` / `Dedent` tokens, following the same
+//! rules as Python:
+//!
+//! * indentation is compared against a stack of open indentation levels;
+//! * blank lines and comment-only lines do not affect layout;
+//! * newlines inside `(`, `[` or `{` brackets are implicit line joins.
+
+use crate::diag::{Diagnostic, Stage};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// How many columns a tab character advances. Mixing tabs and spaces is
+/// accepted as long as the resulting column counts are consistent.
+const TAB_WIDTH: u32 = 8;
+
+/// Tokenize a complete source file.
+///
+/// Returns the token stream (always terminated by [`TokenKind::Eof`]) or the
+/// first lexical error encountered.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    /// Byte offset of the next unread character.
+    pos: usize,
+    /// 1-based current line.
+    line: u32,
+    /// 1-based column of the next character.
+    col: u32,
+    /// Stack of enclosing indentation widths; always starts with 0.
+    indents: Vec<u32>,
+    /// Depth of open `(`/`[`/`{` brackets; newlines are joined when > 0.
+    brackets: u32,
+    /// True when we are at the start of a logical line and must process
+    /// indentation before scanning tokens.
+    at_line_start: bool,
+    out: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            indents: vec![0],
+            brackets: 0,
+            at_line_start: true,
+            out: Vec::with_capacity(src.len() / 4),
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        while self.pos < self.src.len() {
+            if self.at_line_start && self.brackets == 0 {
+                self.handle_indentation()?;
+                if self.pos >= self.src.len() {
+                    break;
+                }
+            }
+            match self.peek() {
+                None => break,
+                Some(c) => self.scan_token(c)?,
+            }
+        }
+        // Close the final logical line and any open blocks.
+        if !self.at_line_start {
+            let span = self.here(0);
+            self.out.push(Token::new(TokenKind::Newline, span));
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            let span = self.here(0);
+            self.out.push(Token::new(TokenKind::Dedent, span));
+        }
+        let span = self.here(0);
+        self.out.push(Token::new(TokenKind::Eof, span));
+        Ok(self.out)
+    }
+
+    // ---- character primitives ------------------------------------------
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else if c == '\t' {
+            self.col = (self.col - 1) / TAB_WIDTH * TAB_WIDTH + TAB_WIDTH + 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// A span for the next `len` bytes at the current position.
+    fn here(&self, len: u32) -> Span {
+        Span::new(self.pos as u32, self.pos as u32 + len, self.line, self.col)
+    }
+
+    fn error(&self, msg: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic::new(Stage::Lex, msg, span)
+    }
+
+    // ---- layout ---------------------------------------------------------
+
+    /// Measure the indentation of the current physical line; if the line is
+    /// blank or a comment, consume it entirely; otherwise emit the
+    /// appropriate `Indent`/`Dedent` tokens.
+    fn handle_indentation(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            let line_start = self.pos;
+            let mut width = 0u32;
+            loop {
+                match self.peek() {
+                    Some(' ') => {
+                        width += 1;
+                        self.bump();
+                    }
+                    Some('\t') => {
+                        width = width / TAB_WIDTH * TAB_WIDTH + TAB_WIDTH;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                // Blank line or comment-only line: swallow, restart on next.
+                Some('\n') => {
+                    self.bump();
+                    continue;
+                }
+                Some('\r') => {
+                    self.bump();
+                    if self.peek() == Some('\n') {
+                        self.bump();
+                    }
+                    continue;
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                None => return Ok(()),
+                Some(_) => {
+                    self.emit_layout(width, line_start)?;
+                    self.at_line_start = false;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn emit_layout(&mut self, width: u32, line_start: usize) -> Result<(), Diagnostic> {
+        let current = *self.indents.last().expect("indent stack never empty");
+        let span = Span::new(line_start as u32, self.pos as u32, self.line, 1);
+        if width > current {
+            self.indents.push(width);
+            self.out.push(Token::new(TokenKind::Indent, span));
+        } else if width < current {
+            while width < *self.indents.last().expect("indent stack never empty") {
+                self.indents.pop();
+                self.out.push(Token::new(TokenKind::Dedent, span));
+            }
+            if width != *self.indents.last().expect("indent stack never empty") {
+                return Err(self
+                    .error("unindent does not match any outer indentation level", span)
+                    .with_help("make sure this line lines up with an enclosing block"));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- token scanning --------------------------------------------------
+
+    fn scan_token(&mut self, c: char) -> Result<(), Diagnostic> {
+        match c {
+            ' ' | '\t' => {
+                self.bump();
+            }
+            '\r' => {
+                self.bump(); // part of \r\n; the \n is handled next
+            }
+            '\n' => {
+                let span = self.here(1);
+                self.bump();
+                if self.brackets == 0 {
+                    self.out.push(Token::new(TokenKind::Newline, span));
+                    self.at_line_start = true;
+                }
+            }
+            '#' => {
+                while let Some(c) = self.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            '"' | '\'' => self.scan_string(c)?,
+            '0'..='9' => self.scan_number()?,
+            c if c.is_alphabetic() || c == '_' => self.scan_ident(),
+            _ => self.scan_operator(c)?,
+        }
+        Ok(())
+    }
+
+    fn scan_ident(&mut self) {
+        let start = self.pos;
+        let span0 = self.here(0);
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start as u32, self.pos as u32, span0.line, span0.col);
+        let kind =
+            TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.out.push(Token::new(kind, span));
+    }
+
+    fn scan_number(&mut self) -> Result<(), Diagnostic> {
+        let start = self.pos;
+        let span0 = self.here(0);
+        while matches!(self.peek(), Some('0'..='9')) {
+            self.bump();
+        }
+        let mut is_real = false;
+        // A '.' continues a real literal only when NOT followed by another
+        // '.', so `[1 ... 100]` and `1...100` lex as int, ellipsis, int.
+        if self.peek() == Some('.')
+            && self.peek2() != Some('.')
+            && matches!(self.peek2(), Some('0'..='9') | None | Some(_))
+        {
+            // Require a digit after the dot: `1.x` is an error, `1.` is too.
+            if matches!(self.peek2(), Some('0'..='9')) {
+                is_real = true;
+                self.bump(); // '.'
+                while matches!(self.peek(), Some('0'..='9')) {
+                    self.bump();
+                }
+            } else if !matches!(self.peek2(), Some('.')) {
+                let span = Span::new(start as u32, self.pos as u32 + 1, span0.line, span0.col);
+                return Err(self
+                    .error("real literal must have digits after the decimal point", span)
+                    .with_help("write `1.0` instead of `1.`"));
+            }
+        }
+        // Optional exponent: 1e9, 2.5e-3.
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let mut probe = self.pos + 1;
+            let bytes = self.src.as_bytes();
+            if probe < bytes.len() && (bytes[probe] == b'+' || bytes[probe] == b'-') {
+                probe += 1;
+            }
+            if probe < bytes.len() && bytes[probe].is_ascii_digit() {
+                is_real = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some('+') | Some('-')) {
+                    self.bump();
+                }
+                while matches!(self.peek(), Some('0'..='9')) {
+                    self.bump();
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start as u32, self.pos as u32, span0.line, span0.col);
+        let kind = if is_real {
+            TokenKind::Real(text.parse::<f64>().map_err(|e| {
+                self.error(format!("invalid real literal `{text}`: {e}"), span)
+            })?)
+        } else {
+            TokenKind::Int(text.parse::<i64>().map_err(|_| {
+                self.error(format!("integer literal `{text}` is too large"), span)
+                    .with_help("Tetra integers are 64-bit signed")
+            })?)
+        };
+        self.out.push(Token::new(kind, span));
+        Ok(())
+    }
+
+    fn scan_string(&mut self, quote: char) -> Result<(), Diagnostic> {
+        let start = self.pos;
+        let span0 = self.here(1);
+        self.bump(); // opening quote
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                None | Some('\n') => {
+                    let span = Span::new(start as u32, self.pos as u32, span0.line, span0.col);
+                    return Err(self
+                        .error("unterminated string literal", span)
+                        .with_help("strings may not span multiple lines"));
+                }
+                Some(c) if c == quote => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('t') => value.push('\t'),
+                    Some('r') => value.push('\r'),
+                    Some('\\') => value.push('\\'),
+                    Some('0') => value.push('\0'),
+                    Some('"') => value.push('"'),
+                    Some('\'') => value.push('\''),
+                    Some(other) => {
+                        let span = Span::new(
+                            (self.pos - other.len_utf8() - 1) as u32,
+                            self.pos as u32,
+                            self.line,
+                            self.col.saturating_sub(2),
+                        );
+                        return Err(self
+                            .error(format!("unknown escape sequence `\\{other}`"), span)
+                            .with_help("supported escapes: \\n \\t \\r \\\\ \\0 \\\" \\'"));
+                    }
+                    None => {
+                        let span = Span::new(start as u32, self.pos as u32, span0.line, span0.col);
+                        return Err(self.error("unterminated string literal", span));
+                    }
+                },
+                Some(c) => value.push(c),
+            }
+        }
+        let span = Span::new(start as u32, self.pos as u32, span0.line, span0.col);
+        self.out.push(Token::new(TokenKind::Str(value), span));
+        Ok(())
+    }
+
+    fn scan_operator(&mut self, c: char) -> Result<(), Diagnostic> {
+        use TokenKind::*;
+        let span1 = self.here(1);
+        let span2 = self.here(2);
+        let two = |k: TokenKind, me: &mut Self| {
+            me.bump();
+            me.bump();
+            me.out.push(Token::new(k, span2));
+        };
+        let one = |k: TokenKind, me: &mut Self| {
+            me.bump();
+            me.out.push(Token::new(k, span1));
+        };
+        let next = self.peek2();
+        match (c, next) {
+            ('+', Some('=')) => two(PlusAssign, self),
+            ('-', Some('=')) => two(MinusAssign, self),
+            ('*', Some('=')) => two(StarAssign, self),
+            ('/', Some('=')) => two(SlashAssign, self),
+            ('%', Some('=')) => two(PercentAssign, self),
+            ('=', Some('=')) => two(Eq, self),
+            ('!', Some('=')) => two(Ne, self),
+            ('<', Some('=')) => two(Le, self),
+            ('>', Some('=')) => two(Ge, self),
+            ('+', _) => one(Plus, self),
+            ('-', _) => one(Minus, self),
+            ('*', _) => one(Star, self),
+            ('/', _) => one(Slash, self),
+            ('%', _) => one(Percent, self),
+            ('=', _) => one(Assign, self),
+            ('<', _) => one(Lt, self),
+            ('>', _) => one(Gt, self),
+            ('(', _) => {
+                self.brackets += 1;
+                one(LParen, self);
+            }
+            ('[', _) => {
+                self.brackets += 1;
+                one(LBracket, self);
+            }
+            ('{', _) => {
+                self.brackets += 1;
+                one(LBrace, self);
+            }
+            (')', _) => {
+                self.brackets = self.brackets.saturating_sub(1);
+                one(RParen, self);
+            }
+            (']', _) => {
+                self.brackets = self.brackets.saturating_sub(1);
+                one(RBracket, self);
+            }
+            ('}', _) => {
+                self.brackets = self.brackets.saturating_sub(1);
+                one(RBrace, self);
+            }
+            (',', _) => one(Comma, self),
+            (':', _) => one(Colon, self),
+            ('.', Some('.')) if self.peek3() == Some('.') => {
+                let span3 = self.here(3);
+                self.bump();
+                self.bump();
+                self.bump();
+                self.out.push(Token::new(Ellipsis, span3));
+            }
+            ('.', _) => one(Dot, self),
+            ('!', _) => {
+                return Err(self
+                    .error("unexpected character `!`", span1)
+                    .with_help("Tetra uses `not` for logical negation and `!=` for inequality"))
+            }
+            (c, _) => {
+                return Err(self.error(format!("unexpected character `{c}`"), span1));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x = 42\n"),
+            vec![Ident("x".into()), Assign, Int(42), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn indentation_produces_indent_dedent() {
+        use TokenKind::*;
+        let toks = kinds("if x:\n    y = 1\nz = 2\n");
+        assert_eq!(
+            toks,
+            vec![
+                If,
+                Ident("x".into()),
+                Colon,
+                Newline,
+                Indent,
+                Ident("y".into()),
+                Assign,
+                Int(1),
+                Newline,
+                Dedent,
+                Ident("z".into()),
+                Assign,
+                Int(2),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_blocks_close_at_eof() {
+        use TokenKind::*;
+        let toks = kinds("if a:\n  if b:\n    c = 1");
+        let dedents = toks.iter().filter(|k| **k == Dedent).count();
+        assert_eq!(dedents, 2);
+        assert_eq!(toks.last(), Some(&Eof));
+        // A Newline is synthesized for the unterminated last line.
+        assert!(toks.contains(&Newline));
+    }
+
+    #[test]
+    fn blank_and_comment_lines_do_not_affect_layout() {
+        use TokenKind::*;
+        let toks = kinds("if a:\n    x = 1\n\n    # comment\n    y = 2\n");
+        let indents = toks.iter().filter(|k| **k == Indent).count();
+        let dedents = toks.iter().filter(|k| **k == Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn comments_run_to_end_of_line() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x = 1 # the answer\ny = 2\n"),
+            vec![
+                Ident("x".into()),
+                Assign,
+                Int(1),
+                Newline,
+                Ident("y".into()),
+                Assign,
+                Int(2),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn brackets_join_lines() {
+        use TokenKind::*;
+        let toks = kinds("x = [1,\n     2,\n     3]\n");
+        let newlines = toks.iter().filter(|k| **k == Newline).count();
+        assert_eq!(newlines, 1, "only the final newline survives");
+        assert!(!toks.contains(&Indent));
+    }
+
+    #[test]
+    fn ellipsis_range_literal() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("[1 ... 100]\n"),
+            vec![LBracket, Int(1), Ellipsis, Int(100), RBracket, Newline, Eof]
+        );
+        // Also without spaces.
+        assert_eq!(
+            kinds("[1...100]\n"),
+            vec![LBracket, Int(1), Ellipsis, Int(100), RBracket, Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn real_literals() {
+        use TokenKind::*;
+        assert_eq!(kinds("3.25\n"), vec![Real(3.25), Newline, Eof]);
+        assert_eq!(kinds("1e3\n"), vec![Real(1000.0), Newline, Eof]);
+        assert_eq!(kinds("2.5e-1\n"), vec![Real(0.25), Newline, Eof]);
+    }
+
+    #[test]
+    fn trailing_dot_is_an_error() {
+        let err = tokenize("x = 1.\n").unwrap_err();
+        assert!(err.message.contains("decimal point"), "{err}");
+    }
+
+    #[test]
+    fn int_overflow_is_reported() {
+        let err = tokenize("99999999999999999999\n").unwrap_err();
+        assert!(err.message.contains("too large"), "{err}");
+    }
+
+    #[test]
+    fn string_escapes() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"print("a\tb\n")"#),
+            vec![
+                Ident("print".into()),
+                LParen,
+                Str("a\tb\n".into()),
+                RParen,
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn single_quoted_strings() {
+        use TokenKind::*;
+        assert_eq!(kinds("'hi'\n"), vec![Str("hi".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        let err = tokenize("x = \"oops\n").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn unknown_escape_is_an_error() {
+        let err = tokenize(r#"x = "bad \q escape""#).unwrap_err();
+        assert!(err.message.contains("escape"), "{err}");
+    }
+
+    #[test]
+    fn bad_unindent_is_an_error() {
+        let err = tokenize("if a:\n    x = 1\n  y = 2\n").unwrap_err();
+        assert!(err.message.contains("unindent"), "{err}");
+        assert_eq!(err.span.line, 3);
+    }
+
+    #[test]
+    fn compound_assignment_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x += 1\nx -= 2\nx *= 3\nx /= 4\nx %= 5\n")
+                .into_iter()
+                .filter(|k| matches!(
+                    k,
+                    PlusAssign | MinusAssign | StarAssign | SlashAssign | PercentAssign
+                ))
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a == b != c <= d >= e < f > g\n")
+                .into_iter()
+                .filter(|k| matches!(k, Eq | Ne | Le | Ge | Lt | Gt))
+                .count(),
+            6
+        );
+    }
+
+    #[test]
+    fn bang_alone_gets_helpful_error() {
+        let err = tokenize("if !x:\n").unwrap_err();
+        assert!(err.help.as_deref().unwrap_or("").contains("not"), "{err:?}");
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let toks = tokenize("x = 1\n  \ny = 2\n").unwrap();
+        let y = toks.iter().find(|t| t.kind == TokenKind::Ident("y".into())).unwrap();
+        assert_eq!(y.span.line, 3);
+        assert_eq!(y.span.col, 1);
+        let two = toks.iter().find(|t| t.kind == TokenKind::Int(2)).unwrap();
+        assert_eq!(two.span.col, 5);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("x = 1\r\ny = 2\r\n"),
+            vec![
+                Ident("x".into()),
+                Assign,
+                Int(1),
+                Newline,
+                Ident("y".into()),
+                Assign,
+                Int(2),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_source_is_just_eof() {
+        assert_eq!(kinds(""), vec![TokenKind::Eof]);
+        assert_eq!(kinds("\n\n# only comments\n"), vec![TokenKind::Eof]);
+    }
+
+    #[test]
+    fn tabs_advance_to_tab_stops() {
+        // A tab then four spaces is deeper than four spaces.
+        let toks = kinds("if a:\n\tx = 1\n");
+        assert!(toks.contains(&TokenKind::Indent));
+    }
+
+    #[test]
+    fn paper_figure_1_lexes() {
+        let src = "\
+# a simple factorial function
+def fact(x int) int:
+    if x == 0:
+        return 1
+    else:
+        return x * fact(x - 1)
+
+# a main function which handles I/O
+def main():
+    print(\"enter n: \")
+    n = read_int()
+    print(n, \"! = \", fact(n))
+";
+        let toks = tokenize(src).unwrap();
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Def));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Def).count(), 2);
+    }
+}

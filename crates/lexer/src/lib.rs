@@ -1,0 +1,36 @@
+//! # tetra-lexer
+//!
+//! Lexical analysis for the Tetra educational parallel programming language
+//! (Finlayson et al., *Introducing Tetra*, IPDPSW 2015).
+//!
+//! Tetra borrows its surface syntax from Python: `#` comments, colon-and-
+//! indentation block structure, and keyword operators (`and`, `or`, `not`).
+//! Like the paper's C++ implementation, the lexer is written by hand because
+//! significant whitespace does not fit generated scanners: it keeps an
+//! indentation stack and synthesizes [`token::TokenKind::Indent`] /
+//! [`token::TokenKind::Dedent`] tokens, suppresses newlines inside brackets,
+//! and skips blank/comment lines.
+//!
+//! This crate also hosts the two source-location types shared by the whole
+//! front end: [`span::Span`] and [`diag::Diagnostic`].
+//!
+//! ## Example
+//!
+//! ```
+//! use tetra_lexer::{tokenize, TokenKind};
+//!
+//! let tokens = tokenize("x = 1 + 2\n").unwrap();
+//! let kinds: Vec<_> = tokens.iter().map(|t| &t.kind).collect();
+//! assert!(matches!(kinds[0], TokenKind::Ident(name) if name == "x"));
+//! assert_eq!(*kinds[1], TokenKind::Assign);
+//! ```
+
+pub mod diag;
+pub mod lexer;
+pub mod span;
+pub mod token;
+
+pub use diag::{Diagnostic, Stage};
+pub use lexer::tokenize;
+pub use span::Span;
+pub use token::{Token, TokenKind};

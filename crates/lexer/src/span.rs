@@ -1,0 +1,102 @@
+//! Source locations.
+//!
+//! Every token and AST node carries a [`Span`] so that type errors, runtime
+//! errors, the debugger and the race detector can all point at source lines —
+//! the paper's pedagogical goals depend on good location reporting.
+
+/// A half-open byte range into a source file, with the 1-based line and
+/// column of its first byte cached for cheap error rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+    /// 1-based source line of `start`.
+    pub line: u32,
+    /// 1-based column (in characters) of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering nothing, used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: 0, end: 0, line: 0, col: 0 };
+
+    /// Create a span from raw parts.
+    pub fn new(start: u32, end: u32, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// Line/column information is taken from whichever span starts first.
+    pub fn to(self, other: Span) -> Span {
+        if other == Span::DUMMY {
+            return self;
+        }
+        if self == Span::DUMMY {
+            return other;
+        }
+        let (line, col) =
+            if self.start <= other.start { (self.line, self.col) } else { (other.line, other.col) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line,
+            col,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u32 {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// True when the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_takes_earliest_location() {
+        let a = Span::new(10, 14, 2, 3);
+        let b = Span::new(20, 24, 3, 1);
+        let m = a.to(b);
+        assert_eq!(m.start, 10);
+        assert_eq!(m.end, 24);
+        assert_eq!(m.line, 2);
+        assert_eq!(m.col, 3);
+        // Symmetric arguments produce the same merged span.
+        assert_eq!(b.to(a), m);
+    }
+
+    #[test]
+    fn merge_with_dummy_is_identity() {
+        let a = Span::new(5, 9, 1, 6);
+        assert_eq!(a.to(Span::DUMMY), a);
+        assert_eq!(Span::DUMMY.to(a), a);
+    }
+
+    #[test]
+    fn display_is_line_colon_col() {
+        assert_eq!(Span::new(0, 1, 7, 4).to_string(), "7:4");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Span::new(3, 8, 1, 4).len(), 5);
+        assert!(Span::DUMMY.is_empty());
+        assert!(!Span::new(3, 8, 1, 4).is_empty());
+    }
+}

@@ -1,0 +1,246 @@
+//! Token definitions for the Tetra language.
+
+use crate::span::Span;
+
+/// Every lexical category Tetra knows about.
+///
+/// Layout tokens (`Newline`, `Indent`, `Dedent`) are synthesized from
+/// significant whitespace exactly as in Python; the parser treats them like
+/// ordinary punctuation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Literals
+    Int(i64),
+    Real(f64),
+    Str(String),
+    /// `true` / `false` keywords, carried with their value.
+    Bool(bool),
+
+    /// An identifier (variable, function or lock name).
+    Ident(String),
+
+    // Keywords
+    Def,
+    If,
+    Elif,
+    Else,
+    While,
+    For,
+    In,
+    Return,
+    Break,
+    Continue,
+    Pass,
+    Parallel,
+    Background,
+    Lock,
+    Try,
+    Catch,
+    And,
+    Or,
+    Not,
+    Assert,
+    /// `none` — the unit value/return type.
+    None,
+    // Built-in type names
+    TyInt,
+    TyReal,
+    TyString,
+    TyBool,
+
+    // Operators and punctuation
+    Assign,        // =
+    PlusAssign,    // +=
+    MinusAssign,   // -=
+    StarAssign,    // *=
+    SlashAssign,   // /=
+    PercentAssign, // %=
+    Eq,            // ==
+    Ne,            // !=
+    Lt,            // <
+    Gt,            // >
+    Le,            // <=
+    Ge,            // >=
+    Plus,          // +
+    Minus,         // -
+    Star,          // *
+    Slash,         // /
+    Percent,       // %
+    LParen,        // (
+    RParen,        // )
+    LBracket,      // [
+    RBracket,      // ]
+    LBrace,        // {
+    RBrace,        // }
+    Comma,         // ,
+    Colon,         // :
+    Dot,           // .
+    Ellipsis,      // ... (array range literal [a ... b])
+
+    // Layout
+    Newline,
+    Indent,
+    Dedent,
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword lookup used by the lexer after scanning an identifier.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match ident {
+            "def" => Def,
+            "if" => If,
+            "elif" => Elif,
+            "else" => Else,
+            "while" => While,
+            "for" => For,
+            "in" => In,
+            "return" => Return,
+            "break" => Break,
+            "continue" => Continue,
+            "pass" => Pass,
+            "parallel" => Parallel,
+            "background" => Background,
+            "lock" => Lock,
+            "try" => Try,
+            "catch" => Catch,
+            "and" => And,
+            "or" => Or,
+            "not" => Not,
+            "assert" => Assert,
+            "none" => None,
+            "true" => Bool(true),
+            "false" => Bool(false),
+            "int" => TyInt,
+            "real" => TyReal,
+            "string" => TyString,
+            "bool" => TyBool,
+            _ => return Option::None,
+        })
+    }
+
+    /// A short human-readable name used in "expected X, found Y" messages.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Int(v) => format!("integer literal `{v}`"),
+            Real(v) => format!("real literal `{v}`"),
+            Str(_) => "string literal".to_string(),
+            Bool(v) => format!("`{v}`"),
+            Ident(name) => format!("identifier `{name}`"),
+            Newline => "end of line".to_string(),
+            Indent => "indented block".to_string(),
+            Dedent => "end of block".to_string(),
+            Eof => "end of file".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical source text for fixed tokens (empty for literals).
+    pub fn lexeme(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Def => "def",
+            If => "if",
+            Elif => "elif",
+            Else => "else",
+            While => "while",
+            For => "for",
+            In => "in",
+            Return => "return",
+            Break => "break",
+            Continue => "continue",
+            Pass => "pass",
+            Parallel => "parallel",
+            Background => "background",
+            Lock => "lock",
+            Try => "try",
+            Catch => "catch",
+            And => "and",
+            Or => "or",
+            Not => "not",
+            Assert => "assert",
+            None => "none",
+            TyInt => "int",
+            TyReal => "real",
+            TyString => "string",
+            TyBool => "bool",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            LBrace => "{",
+            RBrace => "}",
+            Comma => ",",
+            Colon => ":",
+            Dot => ".",
+            Ellipsis => "...",
+            _ => "",
+        }
+    }
+}
+
+/// A token with its source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+impl Token {
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip_through_lexeme() {
+        for kw in ["def", "parallel", "background", "lock", "elif", "assert", "none"] {
+            let tok = TokenKind::keyword(kw).expect(kw);
+            assert_eq!(tok.lexeme(), kw);
+        }
+    }
+
+    #[test]
+    fn bool_keywords_carry_value() {
+        assert_eq!(TokenKind::keyword("true"), Some(TokenKind::Bool(true)));
+        assert_eq!(TokenKind::keyword("false"), Some(TokenKind::Bool(false)));
+    }
+
+    #[test]
+    fn non_keywords_are_none() {
+        assert_eq!(TokenKind::keyword("deffy"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+        assert_eq!(TokenKind::keyword("Parallel"), None); // case-sensitive
+    }
+
+    #[test]
+    fn describe_is_reader_friendly() {
+        assert_eq!(TokenKind::Int(7).describe(), "integer literal `7`");
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::Colon.describe(), "`:`");
+        assert_eq!(TokenKind::Eof.describe(), "end of file");
+    }
+}

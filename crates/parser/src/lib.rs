@@ -1,0 +1,397 @@
+//! # tetra-parser
+//!
+//! A hand-written recursive-descent parser for the Tetra educational
+//! parallel programming language.
+//!
+//! The paper's implementation used Bison; this reimplementation uses
+//! recursive descent over the same grammar (see DESIGN.md §2 for the
+//! substitution rationale). The parser consumes the token stream produced by
+//! [`tetra_lexer::tokenize`] — including the synthesized layout tokens — and
+//! produces a [`tetra_ast::Program`].
+//!
+//! ## Example
+//!
+//! ```
+//! let program = tetra_parser::parse("def main():\n    print(1 + 2)\n").unwrap();
+//! assert_eq!(program.funcs.len(), 1);
+//! assert_eq!(program.funcs[0].name, "main");
+//! ```
+
+mod exprs;
+mod parser;
+
+pub use parser::parse;
+
+#[cfg(test)]
+mod tests {
+    use super::parse;
+    use tetra_ast::*;
+
+    fn main_body(src: &str) -> Vec<Stmt> {
+        let p = parse(src).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"));
+        p.func("main").expect("no main").body.stmts.clone()
+    }
+
+    fn first_expr(src_expr: &str) -> Expr {
+        let src = format!("def main():\n    x = {src_expr}\n");
+        let stmts = main_body(&src);
+        match &stmts[0].kind {
+            StmtKind::Assign { value, .. } => value.clone(),
+            other => panic!("expected assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_paper_figure_1() {
+        let src = "\
+# a simple factorial function
+def fact(x int) int:
+    if x == 0:
+        return 1
+    else:
+        return x * fact(x - 1)
+
+# a main function which handles I/O
+def main():
+    print(\"enter n: \")
+    n = read_int()
+    print(n, \"! = \", fact(n))
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs.len(), 2);
+        let fact = p.func("fact").unwrap();
+        assert_eq!(fact.params.len(), 1);
+        assert_eq!(fact.params[0].ty, Type::Int);
+        assert_eq!(fact.ret, Type::Int);
+        assert!(matches!(fact.body.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn parses_paper_figure_2() {
+        let src = "\
+# sum a range of numbers
+def sumr(nums [int], a int, b int) int:
+    total = 0
+    i = a
+    while i <= b:
+        total += nums[i]
+        i += 1
+    return total
+
+# sum an array of numbers in parallel
+def sum(nums [int]) int:
+    mid = len(nums) / 2
+    parallel:
+        a = sumr(nums, 0, mid - 1)
+        b = sumr(nums, mid, len(nums) - 1)
+    return a + b
+
+# print the sum of 1 through 100
+def main():
+    print(sum([1 ... 100]))
+";
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs.len(), 3);
+        let sum = p.func("sum").unwrap();
+        assert_eq!(sum.params[0].ty, Type::array(Type::Int));
+        let parallel = sum
+            .body
+            .stmts
+            .iter()
+            .find(|s| matches!(s.kind, StmtKind::Parallel { .. }))
+            .expect("parallel block");
+        if let StmtKind::Parallel { body } = &parallel.kind {
+            assert_eq!(body.len(), 2, "two statements run in two threads");
+        }
+    }
+
+    #[test]
+    fn parses_paper_figure_3() {
+        let src = "\
+# find the max of an array
+def max(nums [int]) int:
+    largest = 0
+    parallel for num in nums:
+        if num > largest:
+            lock largest:
+                if num > largest:
+                    largest = num
+    return largest
+
+# run it on some numbers
+def main():
+    nums = [18, 32, 96, 48, 60]
+    print(max(nums))
+";
+        let p = parse(src).unwrap();
+        let stats = visit::ParallelStats::of(&p);
+        assert_eq!(stats.parallel_fors, 1);
+        assert_eq!(stats.lock_blocks, 1);
+        assert_eq!(stats.lock_names, vec!["largest".to_string()]);
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let e = first_expr("1 + 2 * 3");
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Add, rhs, .. } => {
+                assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_comparison_over_logic() {
+        // a == 1 or b == 2  →  (a == 1) or (b == 2)
+        let e = first_expr("a == 1 or b == 2");
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Or, lhs, rhs } => {
+                assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Eq, .. }));
+                assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn not_binds_looser_than_comparison() {
+        // not a == b  →  not (a == b)
+        let e = first_expr("not a == b");
+        match e.kind {
+            ExprKind::Unary { op: UnOp::Not, operand } => {
+                assert!(matches!(operand.kind, ExprKind::Binary { op: BinOp::Eq, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn subtraction_is_left_associative() {
+        // 10 - 3 - 2 → (10 - 3) - 2
+        let e = first_expr("10 - 3 - 2");
+        match e.kind {
+            ExprKind::Binary { op: BinOp::Sub, lhs, rhs } => {
+                assert!(matches!(lhs.kind, ExprKind::Binary { op: BinOp::Sub, .. }));
+                assert!(matches!(rhs.kind, ExprKind::Int(2)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_nests() {
+        let e = first_expr("--5");
+        assert!(matches!(e.kind, ExprKind::Unary { op: UnOp::Neg, .. }));
+    }
+
+    #[test]
+    fn chained_comparison_is_rejected_with_help() {
+        let err = parse("def main():\n    x = 1 < 2 < 3\n").unwrap_err();
+        assert!(err.message.contains("chained"), "{err}");
+    }
+
+    #[test]
+    fn indexing_chains() {
+        let e = first_expr("m[i][j]");
+        match e.kind {
+            ExprKind::Index { base, .. } => {
+                assert!(matches!(base.kind, ExprKind::Index { .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn index_assignment_target() {
+        let stmts = main_body("def main():\n    a[0] = 5\n    m[i][j] += 1\n");
+        assert!(matches!(
+            &stmts[0].kind,
+            StmtKind::Assign { target: Target::Index { .. }, op: AssignOp::Set, .. }
+        ));
+        assert!(matches!(
+            &stmts[1].kind,
+            StmtKind::Assign { target: Target::Index { .. }, op: AssignOp::Add, .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_assignment_target_is_rejected() {
+        let err = parse("def main():\n    1 + 2 = 3\n").unwrap_err();
+        assert!(err.message.contains("assignment target"), "{err}");
+    }
+
+    #[test]
+    fn equality_as_statement_gets_hint() {
+        let err = parse("def main():\n    x == 1\n").unwrap_err();
+        assert!(err.help.as_deref().unwrap_or("").contains("assignment"), "{err:?}");
+    }
+
+    #[test]
+    fn tuple_and_dict_literals() {
+        let e = first_expr("(1, \"a\", true)");
+        assert!(matches!(e.kind, ExprKind::Tuple(ref items) if items.len() == 3));
+        let e = first_expr("{1: \"one\", 2: \"two\"}");
+        assert!(matches!(e.kind, ExprKind::Dict(ref pairs) if pairs.len() == 2));
+        let e = first_expr("{}");
+        assert!(matches!(e.kind, ExprKind::Dict(ref pairs) if pairs.is_empty()));
+    }
+
+    #[test]
+    fn parenthesized_expr_is_not_a_tuple() {
+        let e = first_expr("(1 + 2)");
+        assert!(matches!(e.kind, ExprKind::Binary { .. }));
+    }
+
+    #[test]
+    fn empty_and_trailing_comma_arrays() {
+        let e = first_expr("[]");
+        assert!(matches!(e.kind, ExprKind::Array(ref v) if v.is_empty()));
+        let e = first_expr("[1, 2, 3,]");
+        assert!(matches!(e.kind, ExprKind::Array(ref v) if v.len() == 3));
+    }
+
+    #[test]
+    fn range_literal() {
+        let e = first_expr("[1 ... 100]");
+        match e.kind {
+            ExprKind::Range { lo, hi } => {
+                assert!(matches!(lo.kind, ExprKind::Int(1)));
+                assert!(matches!(hi.kind, ExprKind::Int(100)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_with_expressions() {
+        let e = first_expr("[a + 1 ... n * 2]");
+        assert!(matches!(e.kind, ExprKind::Range { .. }));
+    }
+
+    #[test]
+    fn nested_function_defs_rejected() {
+        let err = parse("def main():\n    def inner():\n        pass\n").unwrap_err();
+        assert!(err.message.contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_function_rejected() {
+        let err = parse("def f():\n    pass\ndef f():\n    pass\n").unwrap_err();
+        assert!(err.message.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_parameter_rejected() {
+        let err = parse("def f(a int, a int):\n    pass\n").unwrap_err();
+        assert!(err.message.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn missing_block_is_helpful() {
+        let err = parse("def main():\nx = 1\n").unwrap_err();
+        assert!(err.message.contains("indented"), "{err}");
+    }
+
+    #[test]
+    fn background_block_parses() {
+        let src = "def main():\n    background:\n        work()\n    print(\"later\")\n";
+        let stmts = main_body(src);
+        assert!(matches!(stmts[0].kind, StmtKind::Background { .. }));
+    }
+
+    #[test]
+    fn assert_with_and_without_message() {
+        let stmts = main_body(
+            "def main():\n    assert x > 0\n    assert x > 0, \"x must be positive\"\n",
+        );
+        assert!(matches!(stmts[0].kind, StmtKind::Assert { message: None, .. }));
+        assert!(matches!(stmts[1].kind, StmtKind::Assert { message: Some(_), .. }));
+    }
+
+    #[test]
+    fn complex_types_parse() {
+        let src = "def f(m [[real]], d {string: int}, t (int, string)) [int]:\n    return []\n";
+        let p = parse(src).unwrap();
+        let f = p.func("f").unwrap();
+        assert_eq!(f.params[0].ty, Type::array(Type::array(Type::Real)));
+        assert_eq!(f.params[1].ty, Type::dict(Type::Str, Type::Int));
+        assert_eq!(f.params[2].ty, Type::Tuple(vec![Type::Int, Type::Str]));
+        assert_eq!(f.ret, Type::array(Type::Int));
+    }
+
+    #[test]
+    fn elif_chain() {
+        let src = "\
+def main():
+    if a:
+        x = 1
+    elif b:
+        x = 2
+    elif c:
+        x = 3
+    else:
+        x = 4
+";
+        let stmts = main_body(src);
+        match &stmts[0].kind {
+            StmtKind::If { elifs, els, .. } => {
+                assert_eq!(elifs.len(), 2);
+                assert!(els.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_ids_are_unique() {
+        let src = "def main():\n    x = 1 + 2\n    y = x * x\n";
+        let p = parse(src).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        struct Collect<'a>(&'a mut std::collections::HashSet<u32>);
+        impl Visitor for Collect<'_> {
+            fn visit_expr(&mut self, e: &Expr) {
+                assert!(self.0.insert(e.id.0), "duplicate id {:?}", e.id);
+                visit::walk_expr(self, e);
+            }
+        }
+        use tetra_ast::visit::{self, Visitor};
+        visit::walk_program(&mut Collect(&mut seen), &p);
+        assert!(!seen.is_empty());
+        assert!(p.node_count as usize >= seen.len());
+    }
+
+    #[test]
+    fn round_trip_through_pretty_printer() {
+        let src = "\
+def max(nums [int]) int:
+    largest = 0
+    parallel for num in nums:
+        if num > largest:
+            lock largest:
+                if num > largest:
+                    largest = num
+    return largest
+
+def main():
+    nums = [18, 32, 96, 48, 60]
+    print(max(nums))
+";
+        let p1 = parse(src).unwrap();
+        let printed = pretty::to_source(&p1);
+        let p2 = parse(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        // Compare pretty-printed forms (spans and ids differ).
+        assert_eq!(printed, pretty::to_source(&p2));
+    }
+
+    #[test]
+    fn multiline_array_in_brackets() {
+        let src = "def main():\n    x = [1,\n         2,\n         3]\n    print(x)\n";
+        let stmts = main_body(src);
+        assert!(matches!(
+            &stmts[0].kind,
+            StmtKind::Assign { value: Expr { kind: ExprKind::Array(v), .. }, .. } if v.len() == 3
+        ));
+    }
+}

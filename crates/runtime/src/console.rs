@@ -1,0 +1,143 @@
+//! Console abstraction.
+//!
+//! The paper's IDE redirects program input and output to a console pane
+//! (§III); to support that — and to make every integration test
+//! deterministic — all Tetra I/O goes through this trait instead of
+//! touching `stdin`/`stdout` directly.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// Where `print` writes and `read_*` reads. Implementations must be
+/// thread-safe: parallel blocks print concurrently.
+pub trait Console: Send + Sync {
+    /// Write a string (no newline added).
+    fn write(&self, s: &str);
+    /// Read one line, without the trailing newline. `None` on end of input.
+    fn read_line(&self) -> Option<String>;
+}
+
+/// Shared console handle.
+pub type ConsoleRef = Arc<dyn Console>;
+
+/// The real process console. Each `write` call locks stdout so output from
+/// one `print` call is never interleaved mid-string with another thread's.
+pub struct StdConsole;
+
+impl Console for StdConsole {
+    fn write(&self, s: &str) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = lock.write_all(s.as_bytes());
+        let _ = lock.flush();
+    }
+
+    fn read_line(&self) -> Option<String> {
+        let stdin = std::io::stdin();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => {
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                Some(line)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+/// An in-memory console: scripted input lines, captured output. The backbone
+/// of the test suite and of the debugger's console pane.
+#[derive(Default)]
+pub struct BufferConsole {
+    out: Mutex<String>,
+    input: Mutex<VecDeque<String>>,
+}
+
+impl BufferConsole {
+    pub fn new() -> Arc<BufferConsole> {
+        Arc::new(BufferConsole::default())
+    }
+
+    /// Create with scripted input lines.
+    pub fn with_input(lines: &[&str]) -> Arc<BufferConsole> {
+        let c = BufferConsole::default();
+        c.input.lock().extend(lines.iter().map(|s| s.to_string()));
+        Arc::new(c)
+    }
+
+    /// Append more input (e.g. an interactive debugger feeding the program).
+    pub fn push_input(&self, line: impl Into<String>) {
+        self.input.lock().push_back(line.into());
+    }
+
+    /// Everything the program has printed so far.
+    pub fn output(&self) -> String {
+        self.out.lock().clone()
+    }
+
+    /// Take the output, clearing the buffer (for incremental UIs).
+    pub fn take_output(&self) -> String {
+        std::mem::take(&mut *self.out.lock())
+    }
+}
+
+impl Console for BufferConsole {
+    fn write(&self, s: &str) {
+        self.out.lock().push_str(s);
+    }
+
+    fn read_line(&self) -> Option<String> {
+        self.input.lock().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_console_round_trips() {
+        let c = BufferConsole::with_input(&["5", "hello"]);
+        c.write("prompt: ");
+        assert_eq!(c.read_line().as_deref(), Some("5"));
+        assert_eq!(c.read_line().as_deref(), Some("hello"));
+        assert_eq!(c.read_line(), None);
+        assert_eq!(c.output(), "prompt: ");
+    }
+
+    #[test]
+    fn take_output_clears() {
+        let c = BufferConsole::new();
+        c.write("a");
+        assert_eq!(c.take_output(), "a");
+        assert_eq!(c.output(), "");
+    }
+
+    #[test]
+    fn concurrent_writes_do_not_lose_data() {
+        let c = BufferConsole::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = &c;
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        c.write("x");
+                    }
+                });
+            }
+        });
+        assert_eq!(c.output().len(), 400);
+    }
+
+    #[test]
+    fn push_input_feeds_reader() {
+        let c = BufferConsole::new();
+        c.push_input("later");
+        assert_eq!(c.read_line().as_deref(), Some("later"));
+    }
+}

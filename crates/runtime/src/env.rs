@@ -1,0 +1,274 @@
+//! Environments: the "private and shared symbol tables" of the paper (§IV).
+//!
+//! A [`Frame`] is one symbol table. Frames are reference-counted and
+//! internally synchronized because Tetra's `parallel` constructs hand the
+//! *same* function frame to several threads (Fig. II assigns `a` and `b`
+//! from two threads and reads them after the join), while `parallel for`
+//! workers push a *private* frame holding their copy of the induction
+//! variable on top of the shared chain.
+//!
+//! Name resolution walks the chain innermost → outermost; assignment updates
+//! the innermost frame that already defines the name, or defines it in the
+//! innermost frame. That gives function-level scoping for sequential code
+//! and private induction variables for parallel loops.
+
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One symbol table (scope).
+pub struct Frame {
+    map: RwLock<HashMap<String, Value>>,
+}
+
+/// Shared handle to a frame.
+pub type FrameRef = Arc<Frame>;
+
+impl Frame {
+    pub fn new_ref() -> FrameRef {
+        Arc::new(Frame { map: RwLock::new(HashMap::new()) })
+    }
+
+    pub fn get(&self, name: &str) -> Option<Value> {
+        self.map.read().get(name).copied()
+    }
+
+    /// Unconditionally bind `name` in this frame.
+    pub fn set(&self, name: &str, value: Value) {
+        self.map.write().insert(name.to_string(), value);
+    }
+
+    /// Update `name` only if it is already bound here. Returns whether it was.
+    pub fn update_existing(&self, name: &str, value: Value) -> bool {
+        let mut map = self.map.write();
+        if let Some(slot) = map.get_mut(name) {
+            *slot = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.read().contains_key(name)
+    }
+
+    /// Number of bindings (debugger display).
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// Copy out all bindings, sorted by name (debugger display).
+    pub fn snapshot(&self) -> Vec<(String, Value)> {
+        let mut entries: Vec<(String, Value)> =
+            self.map.read().iter().map(|(k, v)| (k.clone(), *v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries
+    }
+
+    /// Invoke `f` on every stored value (GC mark phase; world is stopped).
+    pub fn trace(&self, f: &mut dyn FnMut(Value)) {
+        for v in self.map.read().values() {
+            f(*v);
+        }
+    }
+}
+
+impl std::fmt::Debug for Frame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Frame({} bindings)", self.len())
+    }
+}
+
+/// A chain of frames, innermost last.
+#[derive(Clone, Debug)]
+pub struct Env {
+    frames: Vec<FrameRef>,
+}
+
+impl Env {
+    /// A fresh environment with a single (function-level) frame.
+    pub fn new() -> Env {
+        Env { frames: vec![Frame::new_ref()] }
+    }
+
+    /// An environment sharing the given frames (used when spawning threads
+    /// for `parallel` blocks: children execute in the parent's scope).
+    pub fn from_frames(frames: Vec<FrameRef>) -> Env {
+        assert!(!frames.is_empty(), "an Env needs at least one frame");
+        Env { frames }
+    }
+
+    /// The shared frame handles (for GC root publication and spawning).
+    pub fn frames(&self) -> &[FrameRef] {
+        &self.frames
+    }
+
+    /// Push a fresh private frame (e.g. a parallel-for worker's induction
+    /// variable scope). Returns the new chain as a child Env, leaving `self`
+    /// untouched.
+    pub fn with_private_frame(&self) -> Env {
+        let mut frames = self.frames.clone();
+        frames.push(Frame::new_ref());
+        Env { frames }
+    }
+
+    /// The innermost frame.
+    pub fn innermost(&self) -> &FrameRef {
+        self.frames.last().expect("an Env always has a frame")
+    }
+
+    /// Read a variable, innermost frame first.
+    pub fn get(&self, name: &str) -> Option<Value> {
+        for frame in self.frames.iter().rev() {
+            if let Some(v) = frame.get(name) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Like [`Env::get`] but also reports the identity (address) of the
+    /// frame the variable resolved in — the race detector keys accesses by
+    /// (frame, name).
+    pub fn get_located(&self, name: &str) -> Option<(Value, usize)> {
+        for frame in self.frames.iter().rev() {
+            if let Some(v) = frame.get(name) {
+                return Some((v, Arc::as_ptr(frame) as usize));
+            }
+        }
+        None
+    }
+
+    /// Like [`Env::set`] but reports the identity of the frame written.
+    pub fn set_located(&self, name: &str, value: Value) -> usize {
+        for frame in self.frames.iter().rev() {
+            if frame.update_existing(name, value) {
+                return Arc::as_ptr(frame) as usize;
+            }
+        }
+        self.innermost().set(name, value);
+        Arc::as_ptr(self.innermost()) as usize
+    }
+
+    /// Assign: update the innermost frame that defines `name`, or define it
+    /// in the innermost frame.
+    pub fn set(&self, name: &str, value: Value) {
+        for frame in self.frames.iter().rev() {
+            if frame.update_existing(name, value) {
+                return;
+            }
+        }
+        self.innermost().set(name, value);
+    }
+
+    /// Define in the innermost frame unconditionally (function parameters,
+    /// loop induction variables).
+    pub fn define(&self, name: &str, value: Value) {
+        self.innermost().set(name, value);
+    }
+
+    /// Is the name visible anywhere in the chain?
+    pub fn contains(&self, name: &str) -> bool {
+        self.frames.iter().any(|f| f.contains(name))
+    }
+
+    /// Depth of the chain (debugger display).
+    pub fn depth(&self) -> usize {
+        self.frames.len()
+    }
+}
+
+impl Default for Env {
+    fn default() -> Self {
+        Env::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let env = Env::new();
+        assert!(env.get("x").is_none());
+        env.set("x", Value::Int(42));
+        assert!(matches!(env.get("x"), Some(Value::Int(42))));
+    }
+
+    #[test]
+    fn assignment_updates_outer_frame_through_private_frame() {
+        let outer = Env::new();
+        outer.set("total", Value::Int(0));
+        let inner = outer.with_private_frame();
+        inner.set("total", Value::Int(10));
+        // The write went to the shared outer frame, not the private one.
+        assert!(matches!(outer.get("total"), Some(Value::Int(10))));
+        assert!(!inner.innermost().contains("total"));
+    }
+
+    #[test]
+    fn define_shadows_in_private_frame() {
+        let outer = Env::new();
+        outer.set("i", Value::Int(99));
+        let worker = outer.with_private_frame();
+        worker.define("i", Value::Int(1));
+        assert!(matches!(worker.get("i"), Some(Value::Int(1))));
+        // The outer binding is untouched — the induction variable is private.
+        assert!(matches!(outer.get("i"), Some(Value::Int(99))));
+    }
+
+    #[test]
+    fn new_names_go_to_innermost_frame() {
+        let outer = Env::new();
+        let worker = outer.with_private_frame();
+        worker.set("fresh", Value::Bool(true));
+        assert!(outer.get("fresh").is_none());
+        assert!(worker.get("fresh").is_some());
+    }
+
+    #[test]
+    fn shared_frames_are_visible_across_env_clones() {
+        // Models Fig. II: two "threads" share the function frame.
+        let parent = Env::new();
+        let t1 = Env::from_frames(parent.frames().to_vec());
+        let t2 = Env::from_frames(parent.frames().to_vec());
+        t1.set("a", Value::Int(1));
+        t2.set("b", Value::Int(2));
+        assert!(matches!(parent.get("a"), Some(Value::Int(1))));
+        assert!(matches!(parent.get("b"), Some(Value::Int(2))));
+    }
+
+    #[test]
+    fn snapshot_is_sorted() {
+        let f = Frame::new_ref();
+        f.set("zeta", Value::Int(1));
+        f.set("alpha", Value::Int(2));
+        let snap = f.snapshot();
+        assert_eq!(snap[0].0, "alpha");
+        assert_eq!(snap[1].0, "zeta");
+    }
+
+    #[test]
+    fn concurrent_frame_access_is_safe() {
+        let frame = Frame::new_ref();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let frame = frame.clone();
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        frame.set(&format!("var{t}"), Value::Int(i));
+                        let _ = frame.get(&format!("var{}", (t + 1) % 4));
+                    }
+                });
+            }
+        });
+        assert_eq!(frame.len(), 4);
+    }
+}

@@ -1,0 +1,113 @@
+//! Runtime errors.
+//!
+//! Tetra is for beginners, so runtime failures are first-class values with a
+//! category, a human message and the source line — never a Rust panic. Both
+//! execution engines propagate `Result<_, RuntimeError>` and the CLI renders
+//! these with the offending line.
+
+/// What went wrong, categorized so tests and the debugger can match on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// Integer division or modulo by zero.
+    DivideByZero,
+    /// Array/string/tuple index outside bounds.
+    IndexOutOfBounds,
+    /// Dictionary lookup of a missing key.
+    KeyNotFound,
+    /// `assert` failed.
+    AssertionFailed,
+    /// Integer overflow in `+`, `-`, `*` or negation.
+    Overflow,
+    /// A deadlock between `lock` blocks was detected (wait-for cycle).
+    Deadlock,
+    /// A thread tried to re-enter a `lock` block it already holds.
+    LockReentry,
+    /// Bad value passed to a builtin (e.g. unparsable `read_int` input).
+    Value,
+    /// Console input exhausted or I/O failed.
+    Io,
+    /// A variable was read before any assignment (normally prevented by the
+    /// type checker; reachable via racy parallel code).
+    UndefinedVariable,
+    /// Call of an unknown function (normally prevented by the checker).
+    UndefinedFunction,
+    /// A spawned thread ended with an error; carried to the joining thread.
+    ThreadError,
+    /// The debugger asked the program to stop.
+    Cancelled,
+}
+
+impl ErrorKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            ErrorKind::DivideByZero => "divide by zero",
+            ErrorKind::IndexOutOfBounds => "index out of bounds",
+            ErrorKind::KeyNotFound => "key not found",
+            ErrorKind::AssertionFailed => "assertion failed",
+            ErrorKind::Overflow => "integer overflow",
+            ErrorKind::Deadlock => "deadlock detected",
+            ErrorKind::LockReentry => "lock re-entered",
+            ErrorKind::Value => "value error",
+            ErrorKind::Io => "input/output error",
+            ErrorKind::UndefinedVariable => "undefined variable",
+            ErrorKind::UndefinedFunction => "undefined function",
+            ErrorKind::ThreadError => "error in thread",
+            ErrorKind::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// A runtime error with its source line (1-based; 0 when unknown).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuntimeError {
+    pub kind: ErrorKind,
+    pub message: String,
+    pub line: u32,
+}
+
+impl RuntimeError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>, line: u32) -> Self {
+        RuntimeError { kind, message: message.into(), line }
+    }
+
+    /// Attach a line number if the error does not have one yet.
+    pub fn at_line(mut self, line: u32) -> Self {
+        if self.line == 0 {
+            self.line = line;
+        }
+        self
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "runtime error at line {}: {} ({})", self.line, self.message, self.kind.label())
+        } else {
+            write!(f, "runtime error: {} ({})", self.message, self.kind.label())
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_label() {
+        let e = RuntimeError::new(ErrorKind::DivideByZero, "1 / 0", 14);
+        let s = e.to_string();
+        assert!(s.contains("line 14"), "{s}");
+        assert!(s.contains("divide by zero"), "{s}");
+    }
+
+    #[test]
+    fn at_line_only_fills_missing() {
+        let e = RuntimeError::new(ErrorKind::Value, "x", 0).at_line(5);
+        assert_eq!(e.line, 5);
+        let e2 = e.at_line(9);
+        assert_eq!(e2.line, 5, "existing line must not be overwritten");
+    }
+}

@@ -1,0 +1,719 @@
+//! The hand-rolled stop-the-world mark-sweep garbage collector.
+//!
+//! The paper sells Tetra as a garbage-collected language ("provides garbage
+//! collection and is designed to be as simple as possible", §I) whose
+//! interpreter threads *share* runtime data structures (§IV). That forces a
+//! concurrent-mutator design:
+//!
+//! * Objects are individually boxed; the heap keeps a side list for sweeping.
+//! * Every interpreter/VM thread registers as a **mutator** and polls a
+//!   [`Heap::poll`] safepoint at each statement.
+//! * When an allocation trips the threshold, the allocating thread becomes
+//!   the collector: it raises the `gc_flag`, publishes its own roots, and
+//!   waits until every other mutator is **parked** at a safepoint or inside
+//!   a **safe region** (a blocking operation: Tetra `lock` waits, thread
+//!   joins, console reads — these publish roots first so the GC never waits
+//!   on a blocked thread).
+//! * Roots are published as plain values (temporaries/operand stacks) plus
+//!   shared frame handles; frames are traced at mark time so concurrent
+//!   mutation between publications cannot hide objects.
+//! * Mark is an explicit worklist (no recursion), sweep frees unmarked
+//!   boxes, and the threshold doubles over the live size.
+//!
+//! Invariants callers must maintain (see DESIGN.md §4):
+//! 1. never poll / allocate / enter a safe region while holding an object or
+//!    frame lock;
+//! 2. every value held across a potential GC point is reachable from the
+//!    thread's [`RootSource`];
+//! 3. the closure run inside [`Heap::safe_region`] must not mutate the
+//!    thread's published roots.
+
+use crate::env::FrameRef;
+use crate::value::{GcBox, GcRef, Object, Value};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Tunables for the collector.
+#[derive(Debug, Clone)]
+pub struct HeapConfig {
+    /// Collect whenever estimated live bytes exceed this (grows after GC).
+    pub initial_threshold: usize,
+    /// Lower bound for the adaptive threshold.
+    pub min_threshold: usize,
+    /// Collect on *every* allocation — a torture mode used by tests to
+    /// surface missing-root bugs immediately.
+    pub stress: bool,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            initial_threshold: 1 << 20, // 1 MiB
+            min_threshold: 1 << 16,
+            stress: false,
+        }
+    }
+}
+
+/// Counters exposed through `tetra run --gc-stats` and asserted by tests.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcStats {
+    pub allocations: u64,
+    pub collections: u64,
+    pub objects_freed: u64,
+    pub live_objects: u64,
+    pub live_bytes: u64,
+}
+
+/// Sink filled by a [`RootSource`]: direct values plus shared frames that
+/// the collector traces at mark time.
+#[derive(Default)]
+pub struct RootSink {
+    pub values: Vec<Value>,
+    pub frames: Vec<FrameRef>,
+}
+
+impl RootSink {
+    pub fn value(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    pub fn frame(&mut self, f: &FrameRef) {
+        self.frames.push(f.clone());
+    }
+}
+
+/// Anything that can enumerate a thread's GC roots on demand: the
+/// interpreter's environment chain and temporaries, or the VM's operand
+/// stack and locals.
+pub trait RootSource {
+    fn roots(&self, sink: &mut RootSink);
+}
+
+/// A root source with nothing to report (tests, trivial mutators).
+pub struct NoRoots;
+
+impl RootSource for NoRoots {
+    fn roots(&self, _sink: &mut RootSink) {}
+}
+
+/// Root source that chains an extra set of values in front of another
+/// source — used to root an object's children during the collection its own
+/// allocation triggered.
+struct WithPending<'a> {
+    inner: &'a dyn RootSource,
+    pending: &'a Object,
+}
+
+impl RootSource for WithPending<'_> {
+    fn roots(&self, sink: &mut RootSink) {
+        self.inner.roots(sink);
+        self.pending.trace_children(&mut |v| sink.values.push(v));
+    }
+}
+
+#[derive(Default)]
+struct Slot {
+    parked: bool,
+    safe_region: bool,
+    values: Vec<Value>,
+    frames: Vec<FrameRef>,
+}
+
+#[derive(Default)]
+struct Ctrl {
+    gc_requested: bool,
+    epoch: u64,
+    next_id: u32,
+    slots: HashMap<u32, Slot>,
+}
+
+/// The shared garbage-collected heap.
+pub struct Heap {
+    objects: Mutex<Vec<NonNull<GcBox>>>,
+    bytes: AtomicUsize,
+    threshold: AtomicUsize,
+    stress: AtomicBool,
+    min_threshold: usize,
+    gc_flag: AtomicBool,
+    ctrl: Mutex<Ctrl>,
+    /// Collector waits here for mutators to park.
+    cv_mutators: Condvar,
+    /// Parked mutators wait here for the collection to finish.
+    cv_resume: Condvar,
+    allocations: AtomicU64,
+    collections: AtomicU64,
+    objects_freed: AtomicU64,
+}
+
+// SAFETY: the raw pointers in `objects` are only dereferenced under the
+// documented STW protocol; GcBox payloads are Sync (see value.rs).
+unsafe impl Send for Heap {}
+unsafe impl Sync for Heap {}
+
+impl Heap {
+    pub fn new(config: HeapConfig) -> Arc<Heap> {
+        Arc::new(Heap {
+            objects: Mutex::new(Vec::new()),
+            bytes: AtomicUsize::new(0),
+            threshold: AtomicUsize::new(config.initial_threshold.max(config.min_threshold)),
+            stress: AtomicBool::new(config.stress),
+            min_threshold: config.min_threshold,
+            gc_flag: AtomicBool::new(false),
+            ctrl: Mutex::new(Ctrl::default()),
+            cv_mutators: Condvar::new(),
+            cv_resume: Condvar::new(),
+            allocations: AtomicU64::new(0),
+            collections: AtomicU64::new(0),
+            objects_freed: AtomicU64::new(0),
+        })
+    }
+
+    /// Turn allocation-stress collection on or off at runtime.
+    pub fn set_stress(&self, on: bool) {
+        self.stress.store(on, Ordering::Relaxed);
+    }
+
+    /// Register the calling execution thread as a mutator. The world cannot
+    /// stop until this mutator parks, so drop the guard (or keep it inside
+    /// safe regions) whenever the thread blocks.
+    pub fn register_mutator(self: &Arc<Self>) -> MutatorGuard {
+        let mut ctrl = self.ctrl.lock();
+        let id = ctrl.next_id;
+        ctrl.next_id += 1;
+        ctrl.slots.insert(id, Slot::default());
+        MutatorGuard { heap: Arc::clone(self), id }
+    }
+
+    /// Register a mutator on behalf of a thread that is about to be spawned.
+    /// The slot starts in the safe-region state with `roots` published, so a
+    /// collection may proceed before the new thread first polls.
+    pub fn register_spawned(self: &Arc<Self>, roots: &dyn RootSource) -> MutatorGuard {
+        let mut sink = RootSink::default();
+        roots.roots(&mut sink);
+        let mut ctrl = self.ctrl.lock();
+        let id = ctrl.next_id;
+        ctrl.next_id += 1;
+        ctrl.slots.insert(
+            id,
+            Slot { parked: false, safe_region: true, values: sink.values, frames: sink.frames },
+        );
+        MutatorGuard { heap: Arc::clone(self), id }
+    }
+
+    /// Called by a freshly spawned thread whose mutator was created with
+    /// [`Heap::register_spawned`]: leaves the initial safe-region state
+    /// (waiting out any in-progress collection first) so the thread's roots
+    /// are tracked live from here on.
+    pub fn exit_spawn_region(&self, m: &MutatorGuard) {
+        let mut ctrl = self.ctrl.lock();
+        while ctrl.gc_requested {
+            self.cv_resume.wait(&mut ctrl);
+        }
+        if let Some(slot) = ctrl.slots.get_mut(&m.id) {
+            slot.safe_region = false;
+            slot.values.clear();
+            slot.frames.clear();
+        }
+    }
+
+    /// Cheap safepoint: parks the thread iff a collection has been requested.
+    #[inline]
+    pub fn poll(&self, m: &MutatorGuard, roots: &dyn RootSource) {
+        if self.gc_flag.load(Ordering::Acquire) {
+            self.park(m, roots);
+        }
+    }
+
+    /// Allocate an object, possibly running a collection first.
+    pub fn alloc(&self, m: &MutatorGuard, roots: &dyn RootSource, obj: Object) -> GcRef {
+        debug_assert_eq!(m.heap_ptr(), self as *const _, "mutator belongs to another heap");
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+        let size = obj.size_estimate();
+        let stressed = self.stress.load(Ordering::Relaxed);
+        if stressed
+            || self.bytes.load(Ordering::Relaxed) + size > self.threshold.load(Ordering::Relaxed)
+        {
+            let with_pending = WithPending { inner: roots, pending: &obj };
+            self.collect(m, &with_pending);
+        } else if self.gc_flag.load(Ordering::Acquire) {
+            // Another thread is collecting; help it by parking (the pending
+            // object's children must be visible to that collection too).
+            let with_pending = WithPending { inner: roots, pending: &obj };
+            self.park(m, &with_pending);
+        }
+        let boxed = Box::new(GcBox { mark: AtomicBool::new(false), size, obj });
+        let ptr = NonNull::from(Box::leak(boxed));
+        self.objects.lock().push(ptr);
+        self.bytes.fetch_add(size, Ordering::Relaxed);
+        GcRef { ptr }
+    }
+
+    /// Convenience: allocate a string value.
+    pub fn alloc_str(
+        &self,
+        m: &MutatorGuard,
+        roots: &dyn RootSource,
+        s: impl Into<String>,
+    ) -> Value {
+        Value::Obj(self.alloc(m, roots, Object::Str(s.into())))
+    }
+
+    /// Convenience: allocate an array value.
+    pub fn alloc_array(
+        &self,
+        m: &MutatorGuard,
+        roots: &dyn RootSource,
+        items: Vec<Value>,
+    ) -> Value {
+        Value::Obj(self.alloc(m, roots, Object::array(items)))
+    }
+
+    /// Run a blocking operation inside a GC safe region: the thread's roots
+    /// are published first so collections proceed while `f` blocks.
+    pub fn safe_region<T>(
+        &self,
+        m: &MutatorGuard,
+        roots: &dyn RootSource,
+        f: impl FnOnce() -> T,
+    ) -> T {
+        let mut sink = RootSink::default();
+        roots.roots(&mut sink);
+        {
+            let mut ctrl = self.ctrl.lock();
+            let slot = ctrl.slots.get_mut(&m.id).expect("mutator deregistered");
+            slot.safe_region = true;
+            slot.values = sink.values;
+            slot.frames = sink.frames;
+            // A collector may be waiting for this thread to stop running.
+            self.cv_mutators.notify_all();
+        }
+        let result = f();
+        let mut ctrl = self.ctrl.lock();
+        while ctrl.gc_requested {
+            self.cv_resume.wait(&mut ctrl);
+        }
+        if let Some(slot) = ctrl.slots.get_mut(&m.id) {
+            slot.safe_region = false;
+            slot.values.clear();
+            slot.frames.clear();
+        }
+        result
+    }
+
+    /// Force a collection immediately (exposed for tests and `gc()` builtin).
+    pub fn collect_now(&self, m: &MutatorGuard, roots: &dyn RootSource) {
+        self.collect(m, roots);
+    }
+
+    pub fn stats(&self) -> GcStats {
+        GcStats {
+            allocations: self.allocations.load(Ordering::Relaxed),
+            collections: self.collections.load(Ordering::Relaxed),
+            objects_freed: self.objects_freed.load(Ordering::Relaxed),
+            live_objects: self.objects.lock().len() as u64,
+            live_bytes: self.bytes.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    // ---- internals ---------------------------------------------------------
+
+    /// Park at a safepoint until the in-progress collection finishes.
+    #[cold]
+    fn park(&self, m: &MutatorGuard, roots: &dyn RootSource) {
+        let mut sink = RootSink::default();
+        roots.roots(&mut sink);
+        let mut ctrl = self.ctrl.lock();
+        if !ctrl.gc_requested {
+            return; // raced with the end of the collection
+        }
+        let epoch = ctrl.epoch;
+        {
+            let slot = ctrl.slots.get_mut(&m.id).expect("mutator deregistered");
+            slot.parked = true;
+            slot.values = sink.values;
+            slot.frames = sink.frames;
+        }
+        self.cv_mutators.notify_all();
+        while ctrl.gc_requested && ctrl.epoch == epoch {
+            self.cv_resume.wait(&mut ctrl);
+        }
+        if let Some(slot) = ctrl.slots.get_mut(&m.id) {
+            slot.parked = false;
+            slot.values.clear();
+            slot.frames.clear();
+        }
+    }
+
+    /// Become the collector (or park if someone else already is).
+    fn collect(&self, m: &MutatorGuard, roots: &dyn RootSource) {
+        let mut sink = RootSink::default();
+        roots.roots(&mut sink);
+        let mut ctrl = self.ctrl.lock();
+        if ctrl.gc_requested {
+            // Someone else is collecting: behave like park().
+            let epoch = ctrl.epoch;
+            {
+                let slot = ctrl.slots.get_mut(&m.id).expect("mutator deregistered");
+                slot.parked = true;
+                slot.values = sink.values;
+                slot.frames = sink.frames;
+            }
+            self.cv_mutators.notify_all();
+            while ctrl.gc_requested && ctrl.epoch == epoch {
+                self.cv_resume.wait(&mut ctrl);
+            }
+            if let Some(slot) = ctrl.slots.get_mut(&m.id) {
+                slot.parked = false;
+                slot.values.clear();
+                slot.frames.clear();
+            }
+            return;
+        }
+        ctrl.gc_requested = true;
+        self.gc_flag.store(true, Ordering::Release);
+        {
+            let slot = ctrl.slots.get_mut(&m.id).expect("mutator deregistered");
+            slot.parked = true;
+            slot.values = sink.values;
+            slot.frames = sink.frames;
+        }
+        // Wait for every other mutator to park or block in a safe region.
+        while ctrl.slots.iter().any(|(id, s)| *id != m.id && !s.parked && !s.safe_region) {
+            self.cv_mutators.wait(&mut ctrl);
+        }
+
+        // ---- world is stopped: mark ----
+        let mut worklist: Vec<Value> = Vec::new();
+        let mut seen_frames = std::collections::HashSet::new();
+        for slot in ctrl.slots.values() {
+            worklist.extend_from_slice(&slot.values);
+            for f in &slot.frames {
+                if seen_frames.insert(Arc::as_ptr(f) as usize) {
+                    f.trace(&mut |v| worklist.push(v));
+                }
+            }
+        }
+        while let Some(v) = worklist.pop() {
+            if let Value::Obj(r) = v {
+                if !r.set_mark(true) {
+                    r.object().trace_children(&mut |child| worklist.push(child));
+                }
+            }
+        }
+
+        // ---- sweep ----
+        let mut freed = 0u64;
+        let mut freed_bytes = 0usize;
+        {
+            let mut objects = self.objects.lock();
+            objects.retain(|ptr| {
+                // SAFETY: pointers in the list are live boxes we created.
+                let gc_box = unsafe { ptr.as_ref() };
+                if gc_box.mark.swap(false, Ordering::Relaxed) {
+                    true
+                } else {
+                    freed += 1;
+                    freed_bytes += gc_box.size;
+                    // SAFETY: unreachable (no roots found it), so nothing can
+                    // dereference it after this point.
+                    drop(unsafe { Box::from_raw(ptr.as_ptr()) });
+                    false
+                }
+            });
+        }
+        let live = self.bytes.fetch_sub(freed_bytes, Ordering::Relaxed) - freed_bytes;
+        self.threshold.store((live * 2).max(self.min_threshold), Ordering::Relaxed);
+        self.objects_freed.fetch_add(freed, Ordering::Relaxed);
+        self.collections.fetch_add(1, Ordering::Relaxed);
+
+        // ---- resume the world ----
+        ctrl.gc_requested = false;
+        ctrl.epoch += 1;
+        self.gc_flag.store(false, Ordering::Release);
+        if let Some(slot) = ctrl.slots.get_mut(&m.id) {
+            slot.parked = false;
+            slot.values.clear();
+            slot.frames.clear();
+        }
+        self.cv_resume.notify_all();
+    }
+
+    fn deregister(&self, id: u32) {
+        let mut ctrl = self.ctrl.lock();
+        ctrl.slots.remove(&id);
+        // A collector may be waiting on this mutator to park.
+        self.cv_mutators.notify_all();
+    }
+}
+
+impl Drop for Heap {
+    fn drop(&mut self) {
+        // Free every remaining object; no mutators can exist at this point
+        // because MutatorGuard holds an Arc<Heap>.
+        let objects = self.objects.get_mut();
+        for ptr in objects.drain(..) {
+            // SAFETY: sole owner now.
+            drop(unsafe { Box::from_raw(ptr.as_ptr()) });
+        }
+    }
+}
+
+/// Registration handle for one mutator thread. Dropping it deregisters the
+/// thread, allowing collections to proceed without it.
+pub struct MutatorGuard {
+    heap: Arc<Heap>,
+    id: u32,
+}
+
+impl MutatorGuard {
+    fn heap_ptr(&self) -> *const Heap {
+        Arc::as_ptr(&self.heap)
+    }
+
+    /// The heap this mutator is registered with.
+    pub fn heap(&self) -> &Arc<Heap> {
+        &self.heap
+    }
+}
+
+impl Drop for MutatorGuard {
+    fn drop(&mut self) {
+        self.heap.deregister(self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Frame;
+
+    fn test_heap(stress: bool) -> Arc<Heap> {
+        Heap::new(HeapConfig { initial_threshold: 1 << 14, min_threshold: 1 << 10, stress })
+    }
+
+    struct VecRoots(Vec<Value>);
+    impl RootSource for VecRoots {
+        fn roots(&self, sink: &mut RootSink) {
+            for v in &self.0 {
+                sink.value(*v);
+            }
+        }
+    }
+
+    #[test]
+    fn alloc_and_read_back() {
+        let heap = test_heap(false);
+        let m = heap.register_mutator();
+        let v = heap.alloc_str(&m, &NoRoots, "hello");
+        assert_eq!(v.as_str(), Some("hello"));
+        assert_eq!(heap.stats().allocations, 1);
+        assert_eq!(heap.stats().live_objects, 1);
+    }
+
+    #[test]
+    fn unrooted_objects_are_collected() {
+        let heap = test_heap(false);
+        let m = heap.register_mutator();
+        for i in 0..100 {
+            let _ = heap.alloc_str(&m, &NoRoots, format!("garbage {i}"));
+        }
+        heap.collect_now(&m, &NoRoots);
+        let stats = heap.stats();
+        assert_eq!(stats.live_objects, 0);
+        assert_eq!(stats.objects_freed, 100);
+        assert!(stats.collections >= 1);
+    }
+
+    #[test]
+    fn rooted_objects_survive() {
+        let heap = test_heap(false);
+        let m = heap.register_mutator();
+        let keep = heap.alloc_str(&m, &NoRoots, "keep me");
+        let roots = VecRoots(vec![keep]);
+        for i in 0..50 {
+            let _ = heap.alloc_str(&m, &roots, format!("garbage {i}"));
+        }
+        heap.collect_now(&m, &roots);
+        assert_eq!(heap.stats().live_objects, 1);
+        assert_eq!(keep.as_str(), Some("keep me"));
+    }
+
+    #[test]
+    fn nested_objects_are_traced_transitively() {
+        let heap = test_heap(false);
+        let m = heap.register_mutator();
+        let inner = heap.alloc_str(&m, &NoRoots, "inner");
+        let arr = heap.alloc_array(&m, &VecRoots(vec![inner]), vec![inner]);
+        let outer = heap.alloc_array(&m, &VecRoots(vec![arr]), vec![arr, Value::Int(7)]);
+        let roots = VecRoots(vec![outer]);
+        heap.collect_now(&m, &roots);
+        assert_eq!(heap.stats().live_objects, 3);
+        // Deep access still works.
+        if let Object::Array(items) = outer.as_obj().unwrap().object() {
+            let items = items.lock();
+            if let Object::Array(inner_items) = items[0].as_obj().unwrap().object() {
+                assert_eq!(inner_items.lock()[0].as_str(), Some("inner"));
+            } else {
+                panic!("expected array");
+            }
+        } else {
+            panic!("expected array");
+        }
+    }
+
+    #[test]
+    fn frames_root_their_contents() {
+        let heap = test_heap(false);
+        let m = heap.register_mutator();
+        let frame = Frame::new_ref();
+        let v = heap.alloc_str(&m, &NoRoots, "framed");
+        frame.set("x", v);
+        struct FrameRoots(FrameRef);
+        impl RootSource for FrameRoots {
+            fn roots(&self, sink: &mut RootSink) {
+                sink.frame(&self.0);
+            }
+        }
+        let roots = FrameRoots(frame.clone());
+        heap.collect_now(&m, &roots);
+        assert_eq!(heap.stats().live_objects, 1);
+        assert_eq!(frame.get("x").unwrap().as_str(), Some("framed"));
+    }
+
+    #[test]
+    fn stress_mode_collects_on_every_allocation() {
+        let heap = test_heap(true);
+        let m = heap.register_mutator();
+        let a = heap.alloc_str(&m, &NoRoots, "a");
+        let roots = VecRoots(vec![a]);
+        let b = heap.alloc_str(&m, &roots, "b");
+        // Each alloc collected first: the first string survived because it
+        // was rooted during the second allocation.
+        assert_eq!(a.as_str(), Some("a"));
+        assert_eq!(b.as_str(), Some("b"));
+        assert!(heap.stats().collections >= 2);
+    }
+
+    #[test]
+    fn pending_allocation_children_are_rooted() {
+        // Building an array whose children are otherwise unrooted must not
+        // lose them when the array allocation itself triggers a collection.
+        let heap = test_heap(true);
+        let m = heap.register_mutator();
+        let s = heap.alloc_str(&m, &NoRoots, "child");
+        // `s` is passed only as the pending object's child.
+        let arr = heap.alloc_array(&m, &VecRoots(vec![s]), vec![s]);
+        if let Object::Array(items) = arr.as_obj().unwrap().object() {
+            assert_eq!(items.lock()[0].as_str(), Some("child"));
+        }
+    }
+
+    #[test]
+    fn threshold_triggers_automatic_collection() {
+        let heap = Heap::new(HeapConfig {
+            initial_threshold: 4096,
+            min_threshold: 1024,
+            stress: false,
+        });
+        let m = heap.register_mutator();
+        for i in 0..1000 {
+            let _ = heap.alloc_str(&m, &NoRoots, format!("string number {i} with padding"));
+        }
+        assert!(heap.stats().collections > 0, "threshold should have fired");
+        assert!(heap.stats().live_objects < 1000);
+    }
+
+    #[test]
+    fn concurrent_mutators_survive_stw_collections() {
+        // 4 threads allocate and keep their last 8 values rooted while
+        // stress-collecting; every kept value must stay intact.
+        let heap = test_heap(true);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let heap = Arc::clone(&heap);
+                scope.spawn(move || {
+                    let m = heap.register_mutator();
+                    let mut kept: Vec<Value> = Vec::new();
+                    for i in 0..200 {
+                        let roots = VecRoots(kept.clone());
+                        let v = heap.alloc_str(&m, &roots, format!("t{t} v{i}"));
+                        kept.push(v);
+                        if kept.len() > 8 {
+                            kept.remove(0);
+                        }
+                        heap.poll(&m, &VecRoots(kept.clone()));
+                    }
+                    for (j, v) in kept.iter().enumerate() {
+                        let expect = format!("t{t} v{}", 200 - kept.len() + j);
+                        assert_eq!(v.as_str(), Some(expect.as_str()));
+                    }
+                });
+            }
+        });
+        assert!(heap.stats().collections > 0);
+    }
+
+    #[test]
+    fn safe_region_lets_gc_proceed_while_blocked() {
+        use std::sync::mpsc;
+        let heap = test_heap(false);
+        let (block_tx, block_rx) = mpsc::channel::<()>();
+        let (ready_tx, ready_rx) = mpsc::channel::<()>();
+        std::thread::scope(|scope| {
+            let heap2 = Arc::clone(&heap);
+            scope.spawn(move || {
+                let m = heap2.register_mutator();
+                let v = heap2.alloc_str(&m, &NoRoots, "blocked thread value");
+                let roots = VecRoots(vec![v]);
+                heap2.safe_region(&m, &roots, || {
+                    ready_tx.send(()).unwrap();
+                    // Block until the main thread has collected.
+                    block_rx.recv().unwrap();
+                });
+                assert_eq!(v.as_str(), Some("blocked thread value"));
+            });
+            ready_rx.recv().unwrap();
+            let m = heap.register_mutator();
+            // This collection must complete even though the other thread is
+            // blocked — it is in a safe region.
+            heap.collect_now(&m, &NoRoots);
+            assert_eq!(heap.stats().collections, 1);
+            // The blocked thread's value survived via its published roots.
+            assert_eq!(heap.stats().live_objects, 1);
+            block_tx.send(()).unwrap();
+        });
+    }
+
+    #[test]
+    fn register_spawned_roots_values_before_thread_starts() {
+        let heap = test_heap(false);
+        let parent = heap.register_mutator();
+        let v = heap.alloc_str(&parent, &NoRoots, "handed to child");
+        let child_guard = heap.register_spawned(&VecRoots(vec![v]));
+        // Parent drops its interest; a GC here must keep `v` for the child.
+        heap.collect_now(&parent, &NoRoots);
+        assert_eq!(heap.stats().live_objects, 1);
+        assert_eq!(v.as_str(), Some("handed to child"));
+        drop(child_guard);
+        heap.collect_now(&parent, &NoRoots);
+        assert_eq!(heap.stats().live_objects, 0);
+    }
+
+    #[test]
+    fn stats_track_frees() {
+        let heap = test_heap(false);
+        let m = heap.register_mutator();
+        for _ in 0..10 {
+            let _ = heap.alloc_str(&m, &NoRoots, "x");
+        }
+        heap.collect_now(&m, &NoRoots);
+        let s = heap.stats();
+        assert_eq!(s.allocations, 10);
+        assert_eq!(s.objects_freed, 10);
+        assert_eq!(s.live_bytes, 0);
+    }
+}

@@ -1,0 +1,338 @@
+//! Named locks — the runtime behind Tetra's `lock <name>:` statement.
+//!
+//! Per the paper (§II), lock names live in "a separate namespace from other
+//! Tetra identifiers": the registry maps names to ownership state, created
+//! on first use. The paper implements these with Pthread mutexes (§IV);
+//! here a single registry mutex plus a condvar implements all named locks,
+//! which additionally enables two pedagogical features the paper's IDE aims
+//! at:
+//!
+//! * **deadlock detection** — before blocking, the acquiring thread follows
+//!   the wait-for graph (thread → lock it waits for → holder → …); a cycle
+//!   back to itself raises [`ErrorKind::Deadlock`] with the full cycle
+//!   spelled out instead of hanging the class's terminal;
+//! * **re-entry detection** — `lock a:` nested inside `lock a:` on the same
+//!   thread would self-deadlock with raw mutexes; it raises
+//!   [`ErrorKind::LockReentry`] with the line that already holds the lock.
+//!
+//! Detection can be disabled ([`LockRegistry::set_detection`]) to let
+//! students *watch* a real deadlock from the debugger's thread views.
+
+use crate::error::{ErrorKind, RuntimeError};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[derive(Default)]
+struct LockState {
+    /// lock name → (holding thread, line of the `lock` statement).
+    holders: HashMap<String, (u32, u32)>,
+    /// thread → lock name it is currently blocked on.
+    waiting: HashMap<u32, String>,
+}
+
+/// The registry of all named locks in one running program.
+pub struct LockRegistry {
+    state: Mutex<LockState>,
+    cv: Condvar,
+    detect: AtomicBool,
+    /// Total acquisitions (exposed for the benchmark harness).
+    acquisitions: std::sync::atomic::AtomicU64,
+    /// Acquisitions that had to block first (contention metric).
+    contended: std::sync::atomic::AtomicU64,
+}
+
+impl Default for LockRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockRegistry {
+    pub fn new() -> Self {
+        LockRegistry {
+            state: Mutex::new(LockState::default()),
+            cv: Condvar::new(),
+            detect: AtomicBool::new(true),
+            acquisitions: std::sync::atomic::AtomicU64::new(0),
+            contended: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Enable/disable deadlock+re-entry detection (default on).
+    pub fn set_detection(&self, on: bool) {
+        self.detect.store(on, Ordering::Relaxed);
+    }
+
+    /// Acquire `name` for thread `tid`; blocks while another thread holds
+    /// it. `line` is the source line of the `lock` statement (for errors
+    /// and the debugger).
+    ///
+    /// Callers must wrap this in a GC safe region: it blocks.
+    pub fn acquire(&self, tid: u32, name: &str, line: u32) -> Result<(), RuntimeError> {
+        let detect = self.detect.load(Ordering::Relaxed);
+        let mut st = self.state.lock();
+        self.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if let Some(&(owner, owner_line)) = st.holders.get(name) {
+            if owner == tid {
+                return Err(RuntimeError::new(
+                    ErrorKind::LockReentry,
+                    format!(
+                        "this thread already holds lock `{name}` (taken at line {owner_line}); \
+                         a second `lock {name}:` would wait for itself forever"
+                    ),
+                    line,
+                ));
+            }
+        }
+        let mut blocked = false;
+        while st.holders.contains_key(name) {
+            if detect {
+                if let Some(cycle) = find_cycle(&st, tid, name) {
+                    return Err(RuntimeError::new(
+                        ErrorKind::Deadlock,
+                        format!("deadlock: {}", describe_cycle(&cycle)),
+                        line,
+                    ));
+                }
+            }
+            blocked = true;
+            st.waiting.insert(tid, name.to_string());
+            self.cv.wait(&mut st);
+            st.waiting.remove(&tid);
+            // Re-entry cannot appear while blocked; re-check the holder loop.
+        }
+        if blocked {
+            self.contended.fetch_add(1, Ordering::Relaxed);
+        }
+        st.holders.insert(name.to_string(), (tid, line));
+        Ok(())
+    }
+
+    /// Release `name`; the thread must currently hold it.
+    pub fn release(&self, tid: u32, name: &str) {
+        let mut st = self.state.lock();
+        match st.holders.get(name) {
+            Some(&(owner, _)) if owner == tid => {
+                st.holders.remove(name);
+            }
+            other => {
+                debug_assert!(false, "release of `{name}` by {tid}, holder {other:?}");
+                return;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Names of every lock currently held by `tid`, sorted (used by the
+    /// Eraser-style race detector's lockset intersection).
+    pub fn held_by(&self, tid: u32) -> Vec<String> {
+        let st = self.state.lock();
+        let mut names: Vec<String> = st
+            .holders
+            .iter()
+            .filter(|(_, (owner, _))| *owner == tid)
+            .map(|(name, _)| name.clone())
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The lock `tid` is blocked on right now, if any (debugger display).
+    pub fn waiting_on(&self, tid: u32) -> Option<String> {
+        self.state.lock().waiting.get(&tid).cloned()
+    }
+
+    /// Current holder of `name`, if held (debugger display).
+    pub fn holder_of(&self, name: &str) -> Option<u32> {
+        self.state.lock().holders.get(name).map(|&(tid, _)| tid)
+    }
+
+    /// (total acquisitions, contended acquisitions).
+    pub fn contention_stats(&self) -> (u64, u64) {
+        (
+            self.acquisitions.load(Ordering::Relaxed),
+            self.contended.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Shared handle used across interpreter threads.
+pub type LockRegistryRef = Arc<LockRegistry>;
+
+/// Follow the wait-for graph from the holder of `want` back to `tid`.
+/// Returns the cycle as (thread, lock-it-holds-or-waits-for) pairs.
+fn find_cycle(st: &LockState, tid: u32, want: &str) -> Option<Vec<(u32, String)>> {
+    let mut cycle = vec![(tid, want.to_string())];
+    let mut current = want.to_string();
+    loop {
+        let &(owner, _) = st.holders.get(&current)?;
+        if owner == tid {
+            return Some(cycle);
+        }
+        let next = st.waiting.get(&owner)?.clone();
+        cycle.push((owner, next.clone()));
+        if cycle.len() > st.holders.len() + st.waiting.len() + 2 {
+            return None; // defensive: malformed graph
+        }
+        current = next;
+    }
+}
+
+fn describe_cycle(cycle: &[(u32, String)]) -> String {
+    let parts: Vec<String> = cycle
+        .iter()
+        .map(|(tid, lock)| format!("thread {tid} waits for lock `{lock}`"))
+        .collect();
+    format!("{} — completing a cycle", parts.join(", which is held by a thread where "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    #[test]
+    fn uncontended_acquire_release() {
+        let reg = LockRegistry::new();
+        reg.acquire(0, "a", 1).unwrap();
+        assert_eq!(reg.holder_of("a"), Some(0));
+        assert_eq!(reg.held_by(0), vec!["a".to_string()]);
+        reg.release(0, "a");
+        assert_eq!(reg.holder_of("a"), None);
+        let (total, contended) = reg.contention_stats();
+        assert_eq!((total, contended), (1, 0));
+    }
+
+    #[test]
+    fn reentry_is_detected() {
+        let reg = LockRegistry::new();
+        reg.acquire(0, "a", 3).unwrap();
+        let err = reg.acquire(0, "a", 7).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::LockReentry);
+        assert_eq!(err.line, 7);
+        assert!(err.message.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn different_names_are_independent() {
+        let reg = LockRegistry::new();
+        reg.acquire(0, "a", 1).unwrap();
+        reg.acquire(0, "b", 2).unwrap();
+        assert_eq!(reg.held_by(0), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn contended_acquire_blocks_until_release() {
+        let reg = Arc::new(LockRegistry::new());
+        reg.acquire(0, "a", 1).unwrap();
+        let (tx, rx) = mpsc::channel();
+        let reg2 = Arc::clone(&reg);
+        let t = std::thread::spawn(move || {
+            reg2.acquire(1, "a", 5).unwrap();
+            tx.send(()).unwrap();
+            reg2.release(1, "a");
+        });
+        // The waiter must not get through while we hold the lock.
+        assert!(rx.recv_timeout(std::time::Duration::from_millis(100)).is_err());
+        reg.release(0, "a");
+        rx.recv_timeout(std::time::Duration::from_secs(5)).expect("waiter ran");
+        t.join().unwrap();
+        let (_, contended) = reg.contention_stats();
+        assert_eq!(contended, 1);
+    }
+
+    #[test]
+    fn two_lock_deadlock_is_detected() {
+        // Thread 0 holds a and wants b; thread 1 holds b and wants a.
+        let reg = Arc::new(LockRegistry::new());
+        reg.acquire(0, "a", 1).unwrap();
+        let reg2 = Arc::clone(&reg);
+        let (started_tx, started_rx) = mpsc::channel();
+        let t = std::thread::spawn(move || {
+            reg2.acquire(1, "b", 2).unwrap();
+            started_tx.send(()).unwrap();
+            // Will block (0 holds a), but is not itself a deadlock yet.
+            let r = reg2.acquire(1, "a", 3);
+            // Once thread 0's acquire of b errors out and releases a, we get it.
+            r
+        });
+        started_rx.recv().unwrap();
+        // Give thread 1 time to block on `a`.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while reg.waiting_on(1).is_none() {
+            assert!(std::time::Instant::now() < deadline, "thread 1 never blocked");
+            std::thread::yield_now();
+        }
+        let err = reg.acquire(0, "b", 9).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::Deadlock);
+        assert!(err.message.contains("lock `b`"), "{err}");
+        assert!(err.message.contains("lock `a`"), "{err}");
+        // Recover: release a so thread 1 can finish.
+        reg.release(0, "a");
+        t.join().unwrap().unwrap();
+        reg.release(1, "a");
+        reg.release(1, "b");
+    }
+
+    #[test]
+    fn detection_can_be_disabled() {
+        let reg = LockRegistry::new();
+        reg.set_detection(false);
+        reg.acquire(0, "a", 1).unwrap();
+        // Re-entry now reports nothing special... but we cannot block the
+        // test thread forever; re-entry stays an error even when detection
+        // is off? No: with detection off we still refuse re-entry because it
+        // is *always* a self-deadlock with no observer to break it.
+        let err = reg.acquire(0, "a", 2).unwrap_err();
+        assert_eq!(err.kind, ErrorKind::LockReentry);
+    }
+
+    #[test]
+    fn waiting_on_reports_blocked_thread() {
+        let reg = Arc::new(LockRegistry::new());
+        reg.acquire(0, "m", 1).unwrap();
+        let reg2 = Arc::clone(&reg);
+        let t = std::thread::spawn(move || {
+            reg2.acquire(7, "m", 2).unwrap();
+            reg2.release(7, "m");
+        });
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while reg.waiting_on(7).is_none() {
+            assert!(std::time::Instant::now() < deadline, "thread 7 never blocked");
+            std::thread::yield_now();
+        }
+        assert_eq!(reg.waiting_on(7).as_deref(), Some("m"));
+        reg.release(0, "m");
+        t.join().unwrap();
+        assert_eq!(reg.waiting_on(7), None);
+    }
+
+    #[test]
+    fn many_threads_mutual_exclusion() {
+        // Classic counter test: without the lock this would lose updates;
+        // with it the total is exact.
+        let reg = Arc::new(LockRegistry::new());
+        let counter = Arc::new(Mutex::new(0i64));
+        std::thread::scope(|scope| {
+            for tid in 0..8u32 {
+                let reg = Arc::clone(&reg);
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        reg.acquire(tid, "counter", 1).unwrap();
+                        let mut c = counter.lock();
+                        let old = *c;
+                        std::thread::yield_now();
+                        *c = old + 1;
+                        drop(c);
+                        reg.release(tid, "counter");
+                    }
+                });
+            }
+        });
+        assert_eq!(*counter.lock(), 800);
+    }
+}

@@ -1,0 +1,486 @@
+//! Operator semantics shared by both execution engines.
+//!
+//! The tree-walking interpreter and the bytecode VM must agree exactly on
+//! what `+`, `/`, `<`, `a[i]` etc. mean (the integration suite runs every
+//! program under both engines and compares output), so the semantics live
+//! here once.
+//!
+//! Summary of the rules:
+//! * `int op int` stays `int`, with checked overflow and explicit
+//!   divide-by-zero errors; division truncates toward zero;
+//! * mixing `int` and `real` promotes to `real`;
+//! * `+` also concatenates strings and same-typed arrays;
+//! * `==`/`!=` are structural ([`Value::tetra_eq`]);
+//! * ordering works on numbers and strings;
+//! * indexing covers arrays, strings (chars), dicts and tuples.
+
+use std::sync::Arc;
+use tetra_ast::{BinOp, Type};
+use tetra_runtime::{
+    ErrorKind, Heap, MutatorGuard, Object, RootSource, RuntimeError, Value,
+};
+
+/// Minimal engine context for operators that may allocate.
+pub struct OpCtx<'a> {
+    pub heap: &'a Arc<Heap>,
+    pub mutator: &'a MutatorGuard,
+    pub roots: &'a dyn RootSource,
+    pub line: u32,
+}
+
+impl OpCtx<'_> {
+    fn err(&self, kind: ErrorKind, msg: impl Into<String>) -> RuntimeError {
+        RuntimeError::new(kind, msg, self.line)
+    }
+
+    fn alloc_str(&self, s: String) -> Value {
+        self.heap.alloc_str(self.mutator, self.roots, s)
+    }
+}
+
+fn is_num(v: &Value) -> bool {
+    matches!(v, Value::Int(_) | Value::Real(_))
+}
+
+fn to_f64(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Real(r) => *r,
+        _ => unreachable!("guarded by is_num"),
+    }
+}
+
+/// Widen an int into a real when the static type says `real`; keeps runtime
+/// values consistent with the checker's view.
+pub fn widen_to(ty: &Type, v: Value) -> Value {
+    match (ty, v) {
+        (Type::Real, Value::Int(i)) => Value::Real(i as f64),
+        _ => v,
+    }
+}
+
+/// Widen the incoming value to real iff the current slot value is real
+/// (used by assignments, where only the runtime knows the slot).
+pub fn widen_like(current: Option<Value>, new: Value) -> Value {
+    match (current, new) {
+        (Some(Value::Real(_)), Value::Int(i)) => Value::Real(i as f64),
+        (_, v) => v,
+    }
+}
+
+/// Apply a non-logical binary operator (logical `and`/`or` short-circuit in
+/// the engines before operands are both evaluated).
+pub fn binary(ctx: &OpCtx, op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | Div | Mod => arith(ctx, op, l, r),
+        Eq => Ok(Value::Bool(l.tetra_eq(&r))),
+        Ne => Ok(Value::Bool(!l.tetra_eq(&r))),
+        Lt | Gt | Le | Ge => compare(ctx, op, l, r),
+        And | Or => unreachable!("logical operators are short-circuited by the engines"),
+    }
+}
+
+fn arith(ctx: &OpCtx, op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+    use BinOp::*;
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let out = match op {
+                Add => a.checked_add(b),
+                Sub => a.checked_sub(b),
+                Mul => a.checked_mul(b),
+                Div => {
+                    if b == 0 {
+                        return Err(ctx.err(ErrorKind::DivideByZero, format!("{a} / 0")));
+                    }
+                    a.checked_div(b)
+                }
+                Mod => {
+                    if b == 0 {
+                        return Err(ctx.err(ErrorKind::DivideByZero, format!("{a} % 0")));
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!(),
+            };
+            out.map(Value::Int).ok_or_else(|| {
+                ctx.err(ErrorKind::Overflow, format!("integer overflow in `{}`", op.symbol()))
+            })
+        }
+        (a, b) if is_num(&a) && is_num(&b) => {
+            let (x, y) = (to_f64(&a), to_f64(&b));
+            let out = match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => {
+                    if y == 0.0 {
+                        return Err(ctx.err(ErrorKind::DivideByZero, format!("{x} / 0.0")));
+                    }
+                    x / y
+                }
+                Mod => {
+                    if y == 0.0 {
+                        return Err(ctx.err(ErrorKind::DivideByZero, format!("{x} % 0.0")));
+                    }
+                    x % y
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Real(out))
+        }
+        (a, b) if op == Add && a.as_str().is_some() && b.as_str().is_some() => {
+            Ok(ctx.alloc_str(format!("{}{}", a.as_str().unwrap(), b.as_str().unwrap())))
+        }
+        (Value::Obj(a), Value::Obj(b)) if op == Add => {
+            let (Object::Array(x), Object::Array(y)) = (a.object(), b.object()) else {
+                return Err(bad_arith(ctx, op, &Value::Obj(a), &Value::Obj(b)));
+            };
+            // Copy both sides before allocating; handle `a + a` without
+            // double-locking.
+            let mut items = x.lock().clone();
+            if a == b {
+                let copy = items.clone();
+                items.extend(copy);
+            } else {
+                items.extend(y.lock().iter().copied());
+            }
+            Ok(Value::Obj(ctx.heap.alloc(ctx.mutator, ctx.roots, Object::array(items))))
+        }
+        (a, b) => Err(bad_arith(ctx, op, &a, &b)),
+    }
+}
+
+fn bad_arith(ctx: &OpCtx, op: BinOp, a: &Value, b: &Value) -> RuntimeError {
+    ctx.err(
+        ErrorKind::Value,
+        format!(
+            "operator `{}` does not apply to {} and {}",
+            op.symbol(),
+            a.type_name(),
+            b.type_name()
+        ),
+    )
+}
+
+fn compare(ctx: &OpCtx, op: BinOp, l: Value, r: Value) -> Result<Value, RuntimeError> {
+    use std::cmp::Ordering;
+    let ord = match (l, r) {
+        (Value::Int(a), Value::Int(b)) => a.cmp(&b),
+        (a, b) if is_num(&a) && is_num(&b) => {
+            to_f64(&a).partial_cmp(&to_f64(&b)).unwrap_or(Ordering::Equal)
+        }
+        (a, b) => match (a.as_str(), b.as_str()) {
+            (Some(x), Some(y)) => x.cmp(y),
+            _ => {
+                return Err(ctx.err(
+                    ErrorKind::Value,
+                    format!(
+                        "cannot order {} and {} with `{}`",
+                        a.type_name(),
+                        b.type_name(),
+                        op.symbol()
+                    ),
+                ))
+            }
+        },
+    };
+    let b = match op {
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::Le => ord != Ordering::Greater,
+        BinOp::Ge => ord != Ordering::Less,
+        _ => unreachable!(),
+    };
+    Ok(Value::Bool(b))
+}
+
+/// Unary negation.
+pub fn negate(ctx: &OpCtx, v: Value) -> Result<Value, RuntimeError> {
+    match v {
+        Value::Int(i) => i
+            .checked_neg()
+            .map(Value::Int)
+            .ok_or_else(|| ctx.err(ErrorKind::Overflow, "negation overflowed")),
+        Value::Real(r) => Ok(Value::Real(-r)),
+        other => Err(ctx.err(
+            ErrorKind::Value,
+            format!("cannot negate a {}", other.type_name()),
+        )),
+    }
+}
+
+/// Logical not.
+pub fn not(ctx: &OpCtx, v: Value) -> Result<Value, RuntimeError> {
+    match v {
+        Value::Bool(b) => Ok(Value::Bool(!b)),
+        other => Err(ctx.err(
+            ErrorKind::Value,
+            format!("`not` applied to a {}", other.type_name()),
+        )),
+    }
+}
+
+/// `base[index]` read.
+pub fn index_read(ctx: &OpCtx, base: Value, index: Value) -> Result<Value, RuntimeError> {
+    let Value::Obj(obj) = base else {
+        return Err(ctx.err(
+            ErrorKind::Value,
+            format!("cannot index into a {}", base.type_name()),
+        ));
+    };
+    match obj.object() {
+        Object::Array(items) => {
+            let idx = index
+                .as_int()
+                .ok_or_else(|| ctx.err(ErrorKind::Value, "array index must be an int"))?;
+            let items = items.lock();
+            if idx < 0 || idx as usize >= items.len() {
+                let len = items.len();
+                return Err(ctx.err(
+                    ErrorKind::IndexOutOfBounds,
+                    format!("index {idx} out of bounds for array of length {len}"),
+                ));
+            }
+            Ok(items[idx as usize])
+        }
+        Object::Tuple(items) => {
+            let idx = index
+                .as_int()
+                .ok_or_else(|| ctx.err(ErrorKind::Value, "tuple index must be an int"))?;
+            if idx < 0 || idx as usize >= items.len() {
+                return Err(ctx.err(
+                    ErrorKind::IndexOutOfBounds,
+                    format!("index {idx} out of bounds for tuple of {} elements", items.len()),
+                ));
+            }
+            Ok(items[idx as usize])
+        }
+        Object::Str(s) => {
+            let idx = index
+                .as_int()
+                .ok_or_else(|| ctx.err(ErrorKind::Value, "string index must be an int"))?;
+            let ch = if idx >= 0 { s.chars().nth(idx as usize) } else { None };
+            match ch {
+                Some(c) => Ok(ctx.alloc_str(c.to_string())),
+                None => Err(ctx.err(
+                    ErrorKind::IndexOutOfBounds,
+                    format!(
+                        "index {idx} out of bounds for string of length {}",
+                        s.chars().count()
+                    ),
+                )),
+            }
+        }
+        Object::Dict(map) => {
+            let key = index.to_dict_key().ok_or_else(|| {
+                ctx.err(
+                    ErrorKind::Value,
+                    format!("a {} cannot be a dict key", index.type_name()),
+                )
+            })?;
+            map.lock().get(&key).copied().ok_or_else(|| {
+                ctx.err(ErrorKind::KeyNotFound, format!("key {} not found", key.display()))
+            })
+        }
+    }
+}
+
+/// `base[index] = value` write. Preserves the realness of array slots so
+/// static `[real]` arrays never hold ints.
+pub fn index_write(
+    ctx: &OpCtx,
+    base: Value,
+    index: Value,
+    new: Value,
+) -> Result<(), RuntimeError> {
+    let Value::Obj(obj) = base else {
+        return Err(ctx.err(
+            ErrorKind::Value,
+            format!("cannot assign into a {}", base.type_name()),
+        ));
+    };
+    match obj.object() {
+        Object::Array(items) => {
+            let idx = index
+                .as_int()
+                .ok_or_else(|| ctx.err(ErrorKind::Value, "array index must be an int"))?;
+            let mut items = items.lock();
+            if idx < 0 || idx as usize >= items.len() {
+                let len = items.len();
+                return Err(ctx.err(
+                    ErrorKind::IndexOutOfBounds,
+                    format!("index {idx} out of bounds for array of length {len}"),
+                ));
+            }
+            let slot = &mut items[idx as usize];
+            *slot = widen_like(Some(*slot), new);
+            Ok(())
+        }
+        Object::Dict(map) => {
+            let key = index.to_dict_key().ok_or_else(|| {
+                ctx.err(
+                    ErrorKind::Value,
+                    format!("a {} cannot be a dict key", index.type_name()),
+                )
+            })?;
+            map.lock().insert(key, new);
+            Ok(())
+        }
+        Object::Str(_) => Err(ctx.err(ErrorKind::Value, "strings are immutable")),
+        Object::Tuple(_) => Err(ctx.err(ErrorKind::Value, "tuples are immutable")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tetra_runtime::{HeapConfig, NoRoots};
+
+    fn with_ctx<T>(f: impl FnOnce(&OpCtx) -> T) -> T {
+        let heap = Heap::new(HeapConfig::default());
+        let m = heap.register_mutator();
+        let ctx = OpCtx { heap: &heap, mutator: &m, roots: &NoRoots, line: 7 };
+        f(&ctx)
+    }
+
+    #[test]
+    fn int_arith_and_promotion() {
+        with_ctx(|ctx| {
+            assert!(matches!(
+                binary(ctx, BinOp::Add, Value::Int(2), Value::Int(3)),
+                Ok(Value::Int(5))
+            ));
+            assert!(matches!(
+                binary(ctx, BinOp::Div, Value::Int(7), Value::Int(2)),
+                Ok(Value::Int(3))
+            ));
+            assert!(matches!(
+                binary(ctx, BinOp::Div, Value::Int(7), Value::Real(2.0)),
+                Ok(Value::Real(x)) if x == 3.5
+            ));
+            assert!(matches!(
+                binary(ctx, BinOp::Mod, Value::Int(7), Value::Int(3)),
+                Ok(Value::Int(1))
+            ));
+        });
+    }
+
+    #[test]
+    fn division_by_zero_has_line() {
+        with_ctx(|ctx| {
+            let e = binary(ctx, BinOp::Div, Value::Int(1), Value::Int(0)).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::DivideByZero);
+            assert_eq!(e.line, 7);
+        });
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        with_ctx(|ctx| {
+            let e =
+                binary(ctx, BinOp::Add, Value::Int(i64::MAX), Value::Int(1)).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Overflow);
+            let e = negate(ctx, Value::Int(i64::MIN)).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Overflow);
+        });
+    }
+
+    #[test]
+    fn string_concat_allocates() {
+        with_ctx(|ctx| {
+            let a = ctx.alloc_str("foo".into());
+            let b = ctx.alloc_str("bar".into());
+            let c = binary(ctx, BinOp::Add, a, b).unwrap();
+            assert_eq!(c.as_str(), Some("foobar"));
+        });
+    }
+
+    #[test]
+    fn array_self_concat() {
+        with_ctx(|ctx| {
+            let a = ctx.heap.alloc_array(
+                ctx.mutator,
+                &NoRoots,
+                vec![Value::Int(1), Value::Int(2)],
+            );
+            let c = binary(ctx, BinOp::Add, a, a).unwrap();
+            assert_eq!(c.display(), "[1, 2, 1, 2]");
+        });
+    }
+
+    #[test]
+    fn comparisons_mixed_numeric_and_strings() {
+        with_ctx(|ctx| {
+            assert!(matches!(
+                binary(ctx, BinOp::Lt, Value::Int(1), Value::Real(1.5)),
+                Ok(Value::Bool(true))
+            ));
+            let a = ctx.alloc_str("apple".into());
+            let b = ctx.alloc_str("banana".into());
+            assert!(matches!(binary(ctx, BinOp::Lt, a, b), Ok(Value::Bool(true))));
+            let e = binary(ctx, BinOp::Lt, Value::Bool(true), Value::Bool(false)).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::Value);
+        });
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        with_ctx(|ctx| {
+            let a = ctx
+                .heap
+                .alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
+            let b = ctx
+                .heap
+                .alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
+            assert!(matches!(binary(ctx, BinOp::Eq, a, b), Ok(Value::Bool(true))));
+        });
+    }
+
+    #[test]
+    fn index_read_write_round_trip() {
+        with_ctx(|ctx| {
+            let a = ctx
+                .heap
+                .alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
+            index_write(ctx, a, Value::Int(1), Value::Int(9)).unwrap();
+            assert!(matches!(index_read(ctx, a, Value::Int(1)), Ok(Value::Int(9))));
+            let e = index_read(ctx, a, Value::Int(5)).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::IndexOutOfBounds);
+            let e = index_write(ctx, a, Value::Int(-1), Value::Int(0)).unwrap_err();
+            assert_eq!(e.kind, ErrorKind::IndexOutOfBounds);
+        });
+    }
+
+    #[test]
+    fn real_slots_stay_real() {
+        with_ctx(|ctx| {
+            let a = ctx.heap.alloc_array(ctx.mutator, &NoRoots, vec![Value::Real(1.5)]);
+            index_write(ctx, a, Value::Int(0), Value::Int(2)).unwrap();
+            assert!(matches!(index_read(ctx, a, Value::Int(0)), Ok(Value::Real(x)) if x == 2.0));
+        });
+        assert!(matches!(widen_to(&Type::Real, Value::Int(3)), Value::Real(x) if x == 3.0));
+        assert!(matches!(widen_to(&Type::Int, Value::Int(3)), Value::Int(3)));
+        assert!(matches!(
+            widen_like(Some(Value::Real(0.0)), Value::Int(3)),
+            Value::Real(x) if x == 3.0
+        ));
+    }
+
+    #[test]
+    fn string_and_tuple_indexing() {
+        with_ctx(|ctx| {
+            let s = ctx.alloc_str("héllo".into());
+            let c = index_read(ctx, s, Value::Int(1)).unwrap();
+            assert_eq!(c.as_str(), Some("é"));
+            let t = Value::Obj(ctx.heap.alloc(
+                ctx.mutator,
+                &NoRoots,
+                Object::Tuple(vec![Value::Int(1), Value::Bool(true)]),
+            ));
+            assert!(matches!(index_read(ctx, t, Value::Int(1)), Ok(Value::Bool(true))));
+            let e = index_write(ctx, t, Value::Int(0), Value::Int(5)).unwrap_err();
+            assert!(e.message.contains("immutable"));
+        });
+    }
+}

@@ -1,0 +1,396 @@
+//! Static signatures of the builtins, consumed by the type checker.
+//!
+//! Several builtins are polymorphic (`len` over every sized type, `append`
+//! over `[T]`), so signatures are checking *functions* rather than flat
+//! type lists.
+
+use crate::registry::Builtin;
+use tetra_ast::Type;
+
+/// Can a value of type `actual` be passed where `expected` is required?
+/// Exact match, plus the implicit `int → real` widening Tetra allows at
+/// call sites and assignments.
+pub fn compatible(expected: &Type, actual: &Type) -> bool {
+    expected == actual || (*expected == Type::Real && *actual == Type::Int)
+}
+
+/// Type-check a call to builtin `b` with argument types `args`.
+/// Returns the result type or a student-facing message.
+pub fn check_builtin_call(b: Builtin, args: &[Type]) -> Result<Type, String> {
+    use Builtin::*;
+    let argn = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!("{} expects {n} argument(s), got {}", b.name(), args.len()))
+        }
+    };
+    let numeric = |i: usize| -> Result<(), String> {
+        if args[i].is_numeric() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} expects a numeric argument, got {}",
+                b.name(),
+                args[i]
+            ))
+        }
+    };
+    let string = |i: usize| -> Result<(), String> {
+        if args[i] == Type::Str {
+            Ok(())
+        } else {
+            Err(format!("{} expects a string, got {}", b.name(), args[i]))
+        }
+    };
+    let array = |i: usize| -> Result<Type, String> {
+        match &args[i] {
+            Type::Array(t) => Ok((**t).clone()),
+            other => Err(format!("{} expects an array, got {other}", b.name())),
+        }
+    };
+    let dict = |i: usize| -> Result<(Type, Type), String> {
+        match &args[i] {
+            Type::Dict(k, v) => Ok(((**k).clone(), (**v).clone())),
+            other => Err(format!("{} expects a dict, got {other}", b.name())),
+        }
+    };
+    let int_arg = |i: usize| -> Result<(), String> {
+        if args[i] == Type::Int {
+            Ok(())
+        } else {
+            Err(format!("{} expects an int, got {}", b.name(), args[i]))
+        }
+    };
+
+    match b {
+        Print => Ok(Type::None), // any number of any printable (= any) values
+        ReadInt => argn(0).map(|_| Type::Int),
+        ReadReal => argn(0).map(|_| Type::Real),
+        ReadString => argn(0).map(|_| Type::Str),
+        ReadBool => argn(0).map(|_| Type::Bool),
+        Len => {
+            argn(1)?;
+            match &args[0] {
+                Type::Str | Type::Array(_) | Type::Dict(_, _) | Type::Tuple(_) => Ok(Type::Int),
+                other => Err(format!("len() does not apply to {other}")),
+            }
+        }
+        Abs => {
+            argn(1)?;
+            numeric(0)?;
+            Ok(args[0].clone())
+        }
+        Min | Max => {
+            argn(2)?;
+            numeric(0)?;
+            numeric(1)?;
+            if args[0] == Type::Int && args[1] == Type::Int {
+                Ok(Type::Int)
+            } else {
+                Ok(Type::Real)
+            }
+        }
+        Sqrt | Sin | Cos | Tan | Log | Exp => {
+            argn(1)?;
+            numeric(0)?;
+            Ok(Type::Real)
+        }
+        Pow => {
+            argn(2)?;
+            numeric(0)?;
+            numeric(1)?;
+            if args[0] == Type::Int && args[1] == Type::Int {
+                Ok(Type::Int)
+            } else {
+                Ok(Type::Real)
+            }
+        }
+        Floor | Ceil | Round => {
+            argn(1)?;
+            numeric(0)?;
+            Ok(Type::Int)
+        }
+        Random => argn(0).map(|_| Type::Real),
+        RandInt => {
+            argn(2)?;
+            int_arg(0)?;
+            int_arg(1)?;
+            Ok(Type::Int)
+        }
+        ToStr => argn(1).map(|_| Type::Str),
+        ToInt => {
+            argn(1)?;
+            match &args[0] {
+                Type::Int | Type::Real | Type::Str | Type::Bool => Ok(Type::Int),
+                other => Err(format!("int() cannot convert {other}")),
+            }
+        }
+        ToReal => {
+            argn(1)?;
+            match &args[0] {
+                Type::Int | Type::Real | Type::Str => Ok(Type::Real),
+                other => Err(format!("real() cannot convert {other}")),
+            }
+        }
+        Upper | Lower | Trim => {
+            argn(1)?;
+            string(0)?;
+            Ok(Type::Str)
+        }
+        Substr => {
+            argn(3)?;
+            string(0)?;
+            int_arg(1)?;
+            int_arg(2)?;
+            Ok(Type::Str)
+        }
+        Find => {
+            argn(2)?;
+            string(0)?;
+            string(1)?;
+            Ok(Type::Int)
+        }
+        Split => {
+            argn(2)?;
+            string(0)?;
+            string(1)?;
+            Ok(Type::array(Type::Str))
+        }
+        Join => {
+            argn(2)?;
+            let elem = array(0)?;
+            if elem != Type::Str {
+                return Err(format!("join() expects [string], got [{elem}]"));
+            }
+            string(1)?;
+            Ok(Type::Str)
+        }
+        Replace => {
+            argn(3)?;
+            string(0)?;
+            string(1)?;
+            string(2)?;
+            Ok(Type::Str)
+        }
+        StartsWith | EndsWith => {
+            argn(2)?;
+            string(0)?;
+            string(1)?;
+            Ok(Type::Bool)
+        }
+        Append => {
+            argn(2)?;
+            let elem = array(0)?;
+            if !compatible(&elem, &args[1]) {
+                return Err(format!("cannot append {} to [{elem}]", args[1]));
+            }
+            Ok(Type::None)
+        }
+        Pop => {
+            argn(1)?;
+            array(0)
+        }
+        Insert => {
+            argn(3)?;
+            let elem = array(0)?;
+            int_arg(1)?;
+            if !compatible(&elem, &args[2]) {
+                return Err(format!("cannot insert {} into [{elem}]", args[2]));
+            }
+            Ok(Type::None)
+        }
+        RemoveAt => {
+            argn(2)?;
+            let elem = array(0)?;
+            int_arg(1)?;
+            Ok(elem)
+        }
+        Clear => {
+            argn(1)?;
+            array(0)?;
+            Ok(Type::None)
+        }
+        Sort => {
+            argn(1)?;
+            let elem = array(0)?;
+            if !elem.is_ordered() {
+                return Err(format!("sort() needs an orderable element type, got [{elem}]"));
+            }
+            Ok(Type::None)
+        }
+        Reverse => {
+            argn(1)?;
+            array(0)?;
+            Ok(Type::None)
+        }
+        IndexOf => {
+            argn(2)?;
+            let elem = array(0)?;
+            if !compatible(&elem, &args[1]) {
+                return Err(format!("index_of() needle {} does not match [{elem}]", args[1]));
+            }
+            Ok(Type::Int)
+        }
+        Contains => {
+            argn(2)?;
+            match &args[0] {
+                Type::Str => {
+                    string(1)?;
+                    Ok(Type::Bool)
+                }
+                Type::Array(elem) => {
+                    if !compatible(elem, &args[1]) {
+                        return Err(format!(
+                            "contains() needle {} does not match [{elem}]",
+                            args[1]
+                        ));
+                    }
+                    Ok(Type::Bool)
+                }
+                other => Err(format!("contains() does not apply to {other}")),
+            }
+        }
+        Copy => {
+            argn(1)?;
+            let elem = array(0)?;
+            Ok(Type::array(elem))
+        }
+        Sum => {
+            argn(1)?;
+            let elem = array(0)?;
+            if !elem.is_numeric() {
+                return Err(format!("sum() needs a numeric array, got [{elem}]"));
+            }
+            Ok(elem)
+        }
+        MinOf | MaxOf => {
+            argn(1)?;
+            let elem = array(0)?;
+            if !elem.is_ordered() {
+                return Err(format!(
+                    "{}() needs an orderable element type, got [{elem}]",
+                    b.name()
+                ));
+            }
+            Ok(elem)
+        }
+        Fill => {
+            argn(2)?;
+            int_arg(0)?;
+            Ok(Type::array(args[1].clone()))
+        }
+        Keys => {
+            argn(1)?;
+            let (k, _) = dict(0)?;
+            Ok(Type::array(k))
+        }
+        Values => {
+            argn(1)?;
+            let (_, v) = dict(0)?;
+            Ok(Type::array(v))
+        }
+        HasKey | RemoveKey => {
+            argn(2)?;
+            let (k, _) = dict(0)?;
+            if !compatible(&k, &args[1]) {
+                return Err(format!("{} key {} does not match {{{k}: _}}", b.name(), args[1]));
+            }
+            Ok(Type::Bool)
+        }
+        Gc => argn(0).map(|_| Type::None),
+        Sleep => {
+            argn(1)?;
+            int_arg(0)?;
+            Ok(Type::None)
+        }
+        TimeMs => argn(0).map(|_| Type::Int),
+        ThreadId => argn(0).map(|_| Type::Int),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Builtin::*;
+
+    #[test]
+    fn len_is_polymorphic() {
+        assert_eq!(check_builtin_call(Len, &[Type::Str]), Ok(Type::Int));
+        assert_eq!(check_builtin_call(Len, &[Type::array(Type::Real)]), Ok(Type::Int));
+        assert_eq!(
+            check_builtin_call(Len, &[Type::dict(Type::Str, Type::Int)]),
+            Ok(Type::Int)
+        );
+        assert!(check_builtin_call(Len, &[Type::Int]).is_err());
+    }
+
+    #[test]
+    fn abs_preserves_numeric_kind() {
+        assert_eq!(check_builtin_call(Abs, &[Type::Int]), Ok(Type::Int));
+        assert_eq!(check_builtin_call(Abs, &[Type::Real]), Ok(Type::Real));
+        assert!(check_builtin_call(Abs, &[Type::Str]).is_err());
+    }
+
+    #[test]
+    fn min_max_promote_to_real_when_mixed() {
+        assert_eq!(check_builtin_call(Min, &[Type::Int, Type::Int]), Ok(Type::Int));
+        assert_eq!(check_builtin_call(Max, &[Type::Int, Type::Real]), Ok(Type::Real));
+    }
+
+    #[test]
+    fn array_builtins_are_element_polymorphic() {
+        let arr = Type::array(Type::Str);
+        assert_eq!(check_builtin_call(Pop, &[arr.clone()]), Ok(Type::Str));
+        assert_eq!(check_builtin_call(Append, &[arr.clone(), Type::Str]), Ok(Type::None));
+        assert!(check_builtin_call(Append, &[arr.clone(), Type::Int]).is_err());
+        assert_eq!(check_builtin_call(Copy, &[arr.clone()]), Ok(arr));
+    }
+
+    #[test]
+    fn append_allows_int_to_real_widening() {
+        let arr = Type::array(Type::Real);
+        assert_eq!(check_builtin_call(Append, &[arr, Type::Int]), Ok(Type::None));
+    }
+
+    #[test]
+    fn sort_requires_ordered_elements() {
+        assert!(check_builtin_call(Sort, &[Type::array(Type::Int)]).is_ok());
+        assert!(check_builtin_call(Sort, &[Type::array(Type::Bool)]).is_err());
+        assert!(check_builtin_call(Sort, &[Type::array(Type::array(Type::Int))]).is_err());
+    }
+
+    #[test]
+    fn dict_builtins() {
+        let d = Type::dict(Type::Str, Type::Int);
+        assert_eq!(check_builtin_call(Keys, &[d.clone()]), Ok(Type::array(Type::Str)));
+        assert_eq!(check_builtin_call(Values, &[d.clone()]), Ok(Type::array(Type::Int)));
+        assert_eq!(check_builtin_call(HasKey, &[d.clone(), Type::Str]), Ok(Type::Bool));
+        assert!(check_builtin_call(HasKey, &[d, Type::Int]).is_err());
+    }
+
+    #[test]
+    fn arity_errors_name_the_function() {
+        let err = check_builtin_call(Sqrt, &[]).unwrap_err();
+        assert!(err.contains("sqrt"), "{err}");
+        assert!(err.contains("1 argument"), "{err}");
+    }
+
+    #[test]
+    fn contains_works_on_strings_and_arrays() {
+        assert_eq!(check_builtin_call(Contains, &[Type::Str, Type::Str]), Ok(Type::Bool));
+        assert_eq!(
+            check_builtin_call(Contains, &[Type::array(Type::Int), Type::Int]),
+            Ok(Type::Bool)
+        );
+        assert!(check_builtin_call(Contains, &[Type::Int, Type::Int]).is_err());
+    }
+
+    #[test]
+    fn compatible_allows_int_widening_only() {
+        assert!(compatible(&Type::Real, &Type::Int));
+        assert!(!compatible(&Type::Int, &Type::Real));
+        assert!(compatible(&Type::Str, &Type::Str));
+        assert!(!compatible(&Type::array(Type::Real), &Type::array(Type::Int)));
+    }
+}

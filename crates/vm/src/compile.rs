@@ -1,0 +1,697 @@
+//! AST → bytecode compiler.
+//!
+//! Variables resolve to frame slots at compile time (the type checker has
+//! already guaranteed every name is defined). Scoping mirrors the
+//! interpreter's frame chain exactly:
+//!
+//! * each function is one scope;
+//! * a `parallel:`/`background:` child thunk is a **transparent** scope:
+//!   new names defined inside it allocate in the enclosing scope, so (as in
+//!   the interpreter, and Fig. II of the paper) `a = ...` inside a parallel
+//!   block is visible to the parent after the join;
+//! * a `parallel for` body thunk is a real scope whose slot 0 is the
+//!   private induction variable; other new names are worker-private too.
+
+use crate::bytecode::*;
+use std::collections::HashMap;
+use tetra_ast::{
+    AssignOp, BinOp, Block, Expr, ExprKind, Stmt, StmtKind, Target, Type, UnOp,
+};
+use tetra_stdlib::Builtin;
+use tetra_types::{Callee, TypedProgram};
+
+/// Compile a checked program to bytecode.
+pub fn compile(typed: &TypedProgram) -> CompiledProgram {
+    let mut c = Compiler {
+        typed,
+        units: Vec::new(),
+        consts: Vec::new(),
+        const_map: HashMap::new(),
+    };
+    let num_funcs = typed.program.funcs.len();
+    // Reserve function unit slots so thunk indices follow them.
+    for f in &typed.program.funcs {
+        c.units.push(CodeUnit {
+            name: f.name.clone(),
+            kind: UnitKind::Function,
+            params: f.params.len() as u16,
+            nlocals: 0,
+            code: Vec::new(),
+            lines: Vec::new(),
+        });
+    }
+    for (idx, f) in typed.program.funcs.iter().enumerate() {
+        let mut fc = FnCompiler::new(&mut c, idx);
+        for p in &f.params {
+            fc.define_named(&p.name);
+        }
+        fc.set_line(f.span.line);
+        fc.block(&f.body);
+        // Implicit `return none` for paths that fall off the end.
+        let none = fc.comp.intern(Const::None);
+        fc.emit(Instr::Const(none));
+        fc.emit(Instr::Return);
+        let (code, lines, nlocals) = fc.finish_function();
+        let unit = &mut c.units[idx];
+        unit.code = code;
+        unit.lines = lines;
+        unit.nlocals = nlocals;
+    }
+    let main = typed.program.func_index("main").unwrap_or(0) as u16;
+    CompiledProgram { units: c.units, num_funcs, consts: c.consts, main }
+}
+
+#[derive(PartialEq, Eq, Hash)]
+enum ConstKey {
+    None,
+    Int(i64),
+    RealBits(u64),
+    Bool(bool),
+    Str(String),
+}
+
+struct Compiler<'t> {
+    typed: &'t TypedProgram,
+    units: Vec<CodeUnit>,
+    consts: Vec<Const>,
+    const_map: HashMap<ConstKey, u16>,
+}
+
+impl Compiler<'_> {
+    fn intern(&mut self, c: Const) -> u16 {
+        let key = match &c {
+            Const::None => ConstKey::None,
+            Const::Int(v) => ConstKey::Int(*v),
+            Const::Real(v) => ConstKey::RealBits(v.to_bits()),
+            Const::Bool(v) => ConstKey::Bool(*v),
+            Const::Str(s) => ConstKey::Str(s.clone()),
+        };
+        if let Some(&i) = self.const_map.get(&key) {
+            return i;
+        }
+        let i = self.consts.len() as u16;
+        self.consts.push(c);
+        self.const_map.insert(key, i);
+        i
+    }
+}
+
+struct Scope {
+    names: HashMap<String, u16>,
+    nlocals: u16,
+    transparent: bool,
+}
+
+struct PartialUnit {
+    code: Vec<Instr>,
+    lines: Vec<u32>,
+    /// (break patch sites, continue patch sites, open trys at loop entry)
+    /// per open loop.
+    loops: Vec<(Vec<usize>, Vec<usize>, usize)>,
+    /// Number of `try:` bodies currently open in this unit.
+    open_trys: usize,
+    kind: UnitKind,
+    name: String,
+    params: u16,
+}
+
+struct FnCompiler<'c, 't> {
+    comp: &'c mut Compiler<'t>,
+    func_idx: usize,
+    scopes: Vec<Scope>,
+    parts: Vec<PartialUnit>,
+    cur_line: u32,
+}
+
+impl<'c, 't> FnCompiler<'c, 't> {
+    fn new(comp: &'c mut Compiler<'t>, func_idx: usize) -> Self {
+        let name = comp.typed.program.funcs[func_idx].name.clone();
+        let params = comp.typed.program.funcs[func_idx].params.len() as u16;
+        FnCompiler {
+            comp,
+            func_idx,
+            scopes: vec![Scope { names: HashMap::new(), nlocals: 0, transparent: false }],
+            parts: vec![PartialUnit {
+                code: Vec::new(),
+                lines: Vec::new(),
+                loops: Vec::new(),
+                open_trys: 0,
+                kind: UnitKind::Function,
+                name,
+                params,
+            }],
+            cur_line: 0,
+        }
+    }
+
+    fn finish_function(mut self) -> (Vec<Instr>, Vec<u32>, u16) {
+        debug_assert_eq!(self.parts.len(), 1);
+        debug_assert_eq!(self.scopes.len(), 1);
+        let part = self.parts.pop().unwrap();
+        let scope = self.scopes.pop().unwrap();
+        (part.code, part.lines, scope.nlocals)
+    }
+
+    // ---- emission helpers ---------------------------------------------------
+
+    fn set_line(&mut self, line: u32) {
+        self.cur_line = line;
+    }
+
+    fn emit(&mut self, i: Instr) -> usize {
+        let part = self.parts.last_mut().unwrap();
+        part.code.push(i);
+        part.lines.push(self.cur_line);
+        part.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.parts.last().unwrap().code.len() as u32
+    }
+
+    fn patch_jump(&mut self, at: usize) {
+        let target = self.here();
+        let part = self.parts.last_mut().unwrap();
+        match &mut part.code[at] {
+            Instr::Jump(t)
+            | Instr::JumpIfFalse(t)
+            | Instr::JumpIfFalsePeek(t)
+            | Instr::JumpIfTruePeek(t) => *t = target,
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    // ---- scopes ---------------------------------------------------------------
+
+    /// Resolve a name to (depth, slot); depth 0 is the current unit.
+    fn resolve(&self, name: &str) -> Option<(u8, u16)> {
+        for (d, scope) in self.scopes.iter().rev().enumerate() {
+            if let Some(&slot) = scope.names.get(name) {
+                return Some((d as u8, slot));
+            }
+        }
+        None
+    }
+
+    /// Define a named variable: in the innermost *non-transparent* scope.
+    fn define_named(&mut self, name: &str) -> (u8, u16) {
+        let depth = self
+            .scopes
+            .iter()
+            .rev()
+            .position(|s| !s.transparent)
+            .expect("function scope is never transparent");
+        let idx = self.scopes.len() - 1 - depth;
+        let scope = &mut self.scopes[idx];
+        let slot = scope.nlocals;
+        scope.nlocals += 1;
+        scope.names.insert(name.to_string(), slot);
+        (depth as u8, slot)
+    }
+
+    /// Allocate a hidden slot in the current unit (loop bookkeeping).
+    fn define_hidden(&mut self) -> u16 {
+        let scope = self.scopes.last_mut().unwrap();
+        let slot = scope.nlocals;
+        scope.nlocals += 1;
+        slot
+    }
+
+    fn load(&mut self, depth: u8, slot: u16) {
+        if depth == 0 {
+            self.emit(Instr::LoadLocal(slot));
+        } else {
+            self.emit(Instr::LoadOuter(depth, slot));
+        }
+    }
+
+    fn store(&mut self, depth: u8, slot: u16) {
+        if depth == 0 {
+            self.emit(Instr::StoreLocal(slot));
+        } else {
+            self.emit(Instr::StoreOuter(depth, slot));
+        }
+    }
+
+    /// Resolve-or-define for assignment targets.
+    fn target_slot(&mut self, name: &str) -> (u8, u16) {
+        match self.resolve(name) {
+            Some(x) => x,
+            None => self.define_named(name),
+        }
+    }
+
+    // ---- thunks ---------------------------------------------------------------
+
+    /// Compile `body` into a new thunk unit; returns its unit index.
+    fn thunk(&mut self, kind: UnitKind, name: String, params: u16, body: impl FnOnce(&mut Self)) -> u16 {
+        self.scopes.push(Scope {
+            names: HashMap::new(),
+            nlocals: params,
+            transparent: kind == UnitKind::ParallelChild,
+        });
+        self.parts.push(PartialUnit {
+            code: Vec::new(),
+            lines: Vec::new(),
+            loops: Vec::new(),
+            open_trys: 0,
+            kind,
+            name,
+            params,
+        });
+        body(self);
+        let none = self.comp.intern(Const::None);
+        self.emit(Instr::Const(none));
+        self.emit(Instr::Return);
+        let part = self.parts.pop().unwrap();
+        let scope = self.scopes.pop().unwrap();
+        let idx = self.comp.units.len() as u16;
+        self.comp.units.push(CodeUnit {
+            name: part.name,
+            kind: part.kind,
+            params: part.params,
+            nlocals: scope.nlocals,
+            code: part.code,
+            lines: part.lines,
+        });
+        idx
+    }
+
+    // ---- statements ------------------------------------------------------------
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.set_line(s.span.line);
+        match &s.kind {
+            StmtKind::Pass => {}
+            StmtKind::Expr(e) => {
+                self.expr(e);
+                self.emit(Instr::Pop);
+            }
+            StmtKind::Assign { target, op, value } => self.assign(target, *op, value),
+            StmtKind::Return(v) => {
+                match v {
+                    Some(e) => {
+                        self.expr(e);
+                        let ret = self.comp.typed.program.funcs[self.func_idx].ret.clone();
+                        self.maybe_widen(&ret, e);
+                    }
+                    None => {
+                        let none = self.comp.intern(Const::None);
+                        self.emit(Instr::Const(none));
+                    }
+                }
+                self.emit(Instr::Return);
+            }
+            StmtKind::Assert { cond, message } => {
+                self.expr(cond);
+                if let Some(m) = message {
+                    self.expr(m);
+                }
+                self.emit(Instr::Assert { has_msg: message.is_some() });
+            }
+            StmtKind::If { cond, then, elifs, els } => {
+                // Chain of conditional jumps; all arms jump to the end.
+                let mut end_jumps = Vec::new();
+                self.expr(cond);
+                let mut next = self.emit(Instr::JumpIfFalse(0));
+                self.block(then);
+                end_jumps.push(self.emit(Instr::Jump(0)));
+                for (c, b) in elifs {
+                    self.patch_jump(next);
+                    self.expr(c);
+                    next = self.emit(Instr::JumpIfFalse(0));
+                    self.block(b);
+                    end_jumps.push(self.emit(Instr::Jump(0)));
+                }
+                self.patch_jump(next);
+                if let Some(b) = els {
+                    self.block(b);
+                }
+                for j in end_jumps {
+                    self.patch_jump(j);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                let top = self.here();
+                self.expr(cond);
+                let exit = self.emit(Instr::JumpIfFalse(0));
+                {
+                    let part = self.parts.last_mut().unwrap();
+                    let trys = part.open_trys;
+                    part.loops.push((Vec::new(), Vec::new(), trys));
+                }
+                self.block(body);
+                let (breaks, continues, _) =
+                    self.parts.last_mut().unwrap().loops.pop().unwrap();
+                for c in continues {
+                    // `continue` in a while loop re-tests the condition.
+                    let part = self.parts.last_mut().unwrap();
+                    if let Instr::Jump(t) = &mut part.code[c] {
+                        *t = top;
+                    }
+                }
+                self.emit(Instr::Jump(top));
+                self.patch_jump(exit);
+                for b in breaks {
+                    self.patch_jump(b);
+                }
+            }
+            StmtKind::For { var, iter, body, .. } => {
+                // seq → hidden slot; i → hidden slot; loop with Index.
+                self.expr(iter);
+                let seq = self.define_hidden();
+                self.emit(Instr::StoreLocal(seq));
+                let zero = self.comp.intern(Const::Int(0));
+                self.emit(Instr::Const(zero));
+                let i = self.define_hidden();
+                self.emit(Instr::StoreLocal(i));
+                let (vd, vs) = self.target_slot(var);
+                let top = self.here();
+                self.emit(Instr::LoadLocal(i));
+                self.emit(Instr::LoadLocal(seq));
+                self.emit(Instr::CallBuiltin(Builtin::Len, 1));
+                self.emit(Instr::Bin(BinOp::Lt));
+                let exit = self.emit(Instr::JumpIfFalse(0));
+                self.emit(Instr::LoadLocal(seq));
+                self.emit(Instr::LoadLocal(i));
+                self.emit(Instr::Index);
+                self.store(vd, vs);
+                {
+                    let part = self.parts.last_mut().unwrap();
+                    let trys = part.open_trys;
+                    part.loops.push((Vec::new(), Vec::new(), trys));
+                }
+                self.block(body);
+                let (breaks, continues, _) =
+                    self.parts.last_mut().unwrap().loops.pop().unwrap();
+                let incr = self.here();
+                for c in continues {
+                    let part = self.parts.last_mut().unwrap();
+                    if let Instr::Jump(t) = &mut part.code[c] {
+                        *t = incr;
+                    }
+                }
+                self.emit(Instr::LoadLocal(i));
+                let one = self.comp.intern(Const::Int(1));
+                self.emit(Instr::Const(one));
+                self.emit(Instr::Bin(BinOp::Add));
+                self.emit(Instr::StoreLocal(i));
+                self.emit(Instr::Jump(top));
+                self.patch_jump(exit);
+                for b in breaks {
+                    self.patch_jump(b);
+                }
+            }
+            StmtKind::Break => {
+                self.pop_trys_to_loop_entry();
+                let at = self.emit(Instr::Jump(0));
+                let part = self.parts.last_mut().unwrap();
+                if let Some((breaks, _, _)) = part.loops.last_mut() {
+                    breaks.push(at);
+                }
+            }
+            StmtKind::Continue => {
+                self.pop_trys_to_loop_entry();
+                let at = self.emit(Instr::Jump(0));
+                let part = self.parts.last_mut().unwrap();
+                if let Some((_, continues, _)) = part.loops.last_mut() {
+                    continues.push(at);
+                }
+            }
+            StmtKind::Lock { name, body } => {
+                let c = self.comp.intern(Const::Str(name.clone()));
+                self.emit(Instr::EnterLock(c));
+                self.block(body);
+                self.set_line(s.span.line);
+                self.emit(Instr::ExitLock(c));
+            }
+            StmtKind::Parallel { body } => {
+                let thunks = self.child_thunks(body);
+                self.set_line(s.span.line);
+                self.emit(Instr::Parallel(thunks));
+            }
+            StmtKind::Background { body } => {
+                let thunks = self.child_thunks(body);
+                self.set_line(s.span.line);
+                self.emit(Instr::Background(thunks));
+            }
+            StmtKind::Try { body, err_name, handler, .. } => {
+                let push_at = self.emit(Instr::TryPush(0));
+                self.parts.last_mut().unwrap().open_trys += 1;
+                self.block(body);
+                self.parts.last_mut().unwrap().open_trys -= 1;
+                self.set_line(s.span.line);
+                self.emit(Instr::TryPop);
+                let skip = self.emit(Instr::Jump(0));
+                // Handler entry: the raise mechanism pushes the error
+                // message; bind it to the catch variable first.
+                let handler_ip = self.here();
+                {
+                    let part = self.parts.last_mut().unwrap();
+                    if let Instr::TryPush(t) = &mut part.code[push_at] {
+                        *t = handler_ip;
+                    }
+                }
+                let (d, slot) = self.target_slot(err_name);
+                self.store(d, slot);
+                self.block(handler);
+                self.patch_jump(skip);
+            }
+            StmtKind::ParallelFor { var, iter, body, .. } => {
+                self.expr(iter);
+                let name = format!("parallel-for@{}", s.span.line);
+                let var = var.clone();
+                let body = body.clone();
+                let t = self.thunk(UnitKind::ParallelForBody, name, 1, |me| {
+                    // Slot 0 of the thunk is the private induction variable.
+                    me.scopes.last_mut().unwrap().names.insert(var.clone(), 0);
+                    me.block(&body);
+                });
+                self.set_line(s.span.line);
+                self.emit(Instr::ParallelFor(t));
+            }
+        }
+    }
+
+    /// Emit `TryPop`s for every `try:` opened since the innermost loop's
+    /// entry — `break`/`continue` jump out of those bodies structurally.
+    fn pop_trys_to_loop_entry(&mut self) {
+        let (open, entry) = {
+            let part = self.parts.last().unwrap();
+            let entry = part.loops.last().map(|(_, _, t)| *t).unwrap_or(0);
+            (part.open_trys, entry)
+        };
+        for _ in entry..open {
+            self.emit(Instr::TryPop);
+        }
+    }
+
+    fn child_thunks(&mut self, body: &Block) -> Vec<u16> {
+        let mut out = Vec::with_capacity(body.stmts.len());
+        for (i, child) in body.stmts.iter().enumerate() {
+            let name = format!("parallel@{}#{i}", child.span.line);
+            let child = child.clone();
+            let t = self.thunk(UnitKind::ParallelChild, name, 0, |me| {
+                me.stmt(&child);
+            });
+            out.push(t);
+        }
+        out
+    }
+
+    fn assign(&mut self, target: &Target, op: AssignOp, value: &Expr) {
+        match target {
+            Target::Name { name, .. } => match op.binop() {
+                None => {
+                    self.expr(value);
+                    self.widen_for_var(name, value);
+                    let (d, s) = self.target_slot(name);
+                    self.store(d, s);
+                }
+                Some(binop) => {
+                    let (d, s) = self.target_slot(name);
+                    self.load(d, s);
+                    self.expr(value);
+                    self.emit(Instr::Bin(binop));
+                    self.store(d, s);
+                }
+            },
+            Target::Index { base, index, .. } => match op.binop() {
+                None => {
+                    self.expr(base);
+                    self.expr(index);
+                    self.expr(value);
+                    self.emit(Instr::IndexStore);
+                }
+                Some(binop) => {
+                    self.expr(base);
+                    self.expr(index);
+                    self.emit(Instr::Dup2);
+                    self.emit(Instr::Index);
+                    self.expr(value);
+                    self.emit(Instr::Bin(binop));
+                    self.emit(Instr::IndexStore);
+                }
+            },
+        }
+    }
+
+    /// Emit `Widen` when the expected static type is real but the value
+    /// expression is an int.
+    fn maybe_widen(&mut self, expected: &Type, value: &Expr) {
+        if *expected == Type::Real
+            && self.comp.typed.expr_types.get(&value.id) == Some(&Type::Int)
+        {
+            self.emit(Instr::Widen);
+        }
+    }
+
+    fn widen_for_var(&mut self, name: &str, value: &Expr) {
+        let ty = self.comp.typed.var_type(self.func_idx, name).cloned();
+        if let Some(ty) = ty {
+            self.maybe_widen(&ty, value);
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------------
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Int(v) => {
+                let c = self.comp.intern(Const::Int(*v));
+                self.emit(Instr::Const(c));
+            }
+            ExprKind::Real(v) => {
+                let c = self.comp.intern(Const::Real(*v));
+                self.emit(Instr::Const(c));
+            }
+            ExprKind::Bool(v) => {
+                let c = self.comp.intern(Const::Bool(*v));
+                self.emit(Instr::Const(c));
+            }
+            ExprKind::None => {
+                let c = self.comp.intern(Const::None);
+                self.emit(Instr::Const(c));
+            }
+            ExprKind::Str(s) => {
+                let c = self.comp.intern(Const::Str(s.clone()));
+                self.emit(Instr::Const(c));
+            }
+            ExprKind::Var(name) => match self.resolve(name) {
+                Some((d, s)) => self.load(d, s),
+                None => {
+                    // Unreachable after checking; compile to a slot that
+                    // will read as unassigned.
+                    let (d, s) = self.define_named(name);
+                    self.load(d, s);
+                }
+            },
+            ExprKind::Unary { op, operand } => {
+                self.expr(operand);
+                match op {
+                    UnOp::Neg => self.emit(Instr::Neg),
+                    UnOp::Not => self.emit(Instr::Not),
+                };
+            }
+            ExprKind::Binary { op, lhs, rhs } => match op {
+                BinOp::And => {
+                    self.expr(lhs);
+                    let j = self.emit(Instr::JumpIfFalsePeek(0));
+                    self.emit(Instr::Pop);
+                    self.expr(rhs);
+                    self.patch_jump(j);
+                }
+                BinOp::Or => {
+                    self.expr(lhs);
+                    let j = self.emit(Instr::JumpIfTruePeek(0));
+                    self.emit(Instr::Pop);
+                    self.expr(rhs);
+                    self.patch_jump(j);
+                }
+                _ => {
+                    self.expr(lhs);
+                    self.expr(rhs);
+                    self.emit(Instr::Bin(*op));
+                }
+            },
+            ExprKind::Call { callee, args } => {
+                match self.comp.typed.callees.get(&e.id).copied() {
+                    Some(Callee::User(idx)) => {
+                        let params: Vec<Type> = self.comp.typed.program.funcs[idx]
+                            .params
+                            .iter()
+                            .map(|p| p.ty.clone())
+                            .collect();
+                        for (arg, pt) in args.iter().zip(&params) {
+                            self.expr(arg);
+                            self.maybe_widen(pt, arg);
+                        }
+                        self.emit(Instr::Call(idx as u16, args.len() as u8));
+                    }
+                    Some(Callee::Builtin(b)) => {
+                        for arg in args {
+                            self.expr(arg);
+                        }
+                        self.emit(Instr::CallBuiltin(b, args.len() as u8));
+                    }
+                    None => {
+                        // Unchecked AST fallback: user functions shadow builtins.
+                        if let Some(idx) = self.comp.typed.program.func_index(callee) {
+                            for arg in args {
+                                self.expr(arg);
+                            }
+                            self.emit(Instr::Call(idx as u16, args.len() as u8));
+                        } else if let Some(b) = Builtin::lookup(callee) {
+                            for arg in args {
+                                self.expr(arg);
+                            }
+                            self.emit(Instr::CallBuiltin(b, args.len() as u8));
+                        } else {
+                            // Produce a deterministic runtime error.
+                            let c = self.comp.intern(Const::Bool(false));
+                            self.emit(Instr::Const(c));
+                            self.emit(Instr::Assert { has_msg: false });
+                            let n = self.comp.intern(Const::None);
+                            self.emit(Instr::Const(n));
+                        }
+                    }
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.expr(base);
+                self.expr(index);
+                self.emit(Instr::Index);
+            }
+            ExprKind::Array(items) => {
+                for item in items {
+                    self.expr(item);
+                }
+                self.emit(Instr::MakeArray(items.len() as u16));
+            }
+            ExprKind::Range { lo, hi } => {
+                self.expr(lo);
+                self.expr(hi);
+                self.emit(Instr::MakeRange);
+            }
+            ExprKind::Tuple(items) => {
+                for item in items {
+                    self.expr(item);
+                }
+                self.emit(Instr::MakeTuple(items.len() as u16));
+            }
+            ExprKind::Dict(pairs) => {
+                for (k, v) in pairs {
+                    self.expr(k);
+                    self.expr(v);
+                }
+                self.emit(Instr::MakeDict(pairs.len() as u16));
+            }
+        }
+    }
+}

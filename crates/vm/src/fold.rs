@@ -1,0 +1,404 @@
+//! Constant folding — the first optimization of the "native compiler"
+//! path (paper §VI: "compile Tetra code into an efficient executable").
+//!
+//! Folding happens on the AST before bytecode generation and is strictly
+//! semantics-preserving, which in an educational language includes
+//! *errors*: `1 / 0` must still fail at runtime with its source line, so
+//! any operation that could raise (division/modulo by a zero literal,
+//! overflowing integer arithmetic) is left unfolded. Node ids and spans of
+//! surviving nodes are untouched, so the checker's side tables stay valid.
+//!
+//! What folds:
+//! * integer and real arithmetic on literals (when overflow-free);
+//! * comparisons and equality on numeric/string/bool literals;
+//! * `and`/`or`/`not` on bool literals (short-circuit made static);
+//! * unary minus on numeric literals;
+//! * `if` with a literal condition: dead arms are pruned;
+//! * `while false:` is removed entirely.
+
+use tetra_ast::{BinOp, Block, Expr, ExprKind, Program, Stmt, StmtKind, Target, UnOp};
+
+/// Statistics reported by the pass (shown by `tetra disasm`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FoldStats {
+    pub expressions_folded: usize,
+    pub branches_pruned: usize,
+    pub loops_removed: usize,
+}
+
+/// Fold a program, returning the optimized copy and statistics.
+pub fn fold_program(program: &Program) -> (Program, FoldStats) {
+    let mut stats = FoldStats::default();
+    let mut out = program.clone();
+    for f in &mut out.funcs {
+        fold_block(&mut f.body, &mut stats);
+    }
+    (out, stats)
+}
+
+fn fold_block(block: &mut Block, stats: &mut FoldStats) {
+    let mut new_stmts = Vec::with_capacity(block.stmts.len());
+    for mut stmt in std::mem::take(&mut block.stmts) {
+        match fold_stmt(&mut stmt, stats) {
+            Keep::Yes => new_stmts.push(stmt),
+            Keep::ReplaceWith(stmts) => new_stmts.extend(stmts),
+            Keep::Drop => {}
+        }
+    }
+    block.stmts = new_stmts;
+}
+
+enum Keep {
+    Yes,
+    Drop,
+    ReplaceWith(Vec<Stmt>),
+}
+
+fn fold_stmt(stmt: &mut Stmt, stats: &mut FoldStats) -> Keep {
+    match &mut stmt.kind {
+        StmtKind::Expr(e) => {
+            fold_expr(e, stats);
+            Keep::Yes
+        }
+        StmtKind::Assign { target, value, .. } => {
+            if let Target::Index { base, index, .. } = target {
+                fold_expr(base, stats);
+                fold_expr(index, stats);
+            }
+            fold_expr(value, stats);
+            Keep::Yes
+        }
+        StmtKind::If { cond, then, elifs, els } => {
+            fold_expr(cond, stats);
+            for (c, b) in elifs.iter_mut() {
+                fold_expr(c, stats);
+                fold_block(b, stats);
+            }
+            fold_block(then, stats);
+            if let Some(b) = els {
+                fold_block(b, stats);
+            }
+            // Literal condition: keep only the taken arm. Only the leading
+            // condition is pruned — enough for the common `if DEBUG:` use.
+            match cond.kind {
+                ExprKind::Bool(true) => {
+                    stats.branches_pruned += 1;
+                    Keep::ReplaceWith(std::mem::take(&mut then.stmts))
+                }
+                ExprKind::Bool(false) if elifs.is_empty() => {
+                    stats.branches_pruned += 1;
+                    match els {
+                        Some(b) => Keep::ReplaceWith(std::mem::take(&mut b.stmts)),
+                        None => Keep::Drop,
+                    }
+                }
+                _ => Keep::Yes,
+            }
+        }
+        StmtKind::While { cond, body } => {
+            fold_expr(cond, stats);
+            fold_block(body, stats);
+            if matches!(cond.kind, ExprKind::Bool(false)) {
+                stats.loops_removed += 1;
+                Keep::Drop
+            } else {
+                Keep::Yes
+            }
+        }
+        StmtKind::For { iter, body, .. } | StmtKind::ParallelFor { iter, body, .. } => {
+            fold_expr(iter, stats);
+            fold_block(body, stats);
+            Keep::Yes
+        }
+        StmtKind::Parallel { body } | StmtKind::Background { body } | StmtKind::Lock { body, .. } => {
+            fold_block(body, stats);
+            Keep::Yes
+        }
+        StmtKind::Return(Some(e)) => {
+            fold_expr(e, stats);
+            Keep::Yes
+        }
+        StmtKind::Assert { cond, message } => {
+            fold_expr(cond, stats);
+            if let Some(m) = message {
+                fold_expr(m, stats);
+            }
+            Keep::Yes
+        }
+        StmtKind::Try { body, handler, .. } => {
+            fold_block(body, stats);
+            fold_block(handler, stats);
+            Keep::Yes
+        }
+        StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue | StmtKind::Pass => Keep::Yes,
+    }
+}
+
+fn fold_expr(e: &mut Expr, stats: &mut FoldStats) {
+    // Fold children first.
+    match &mut e.kind {
+        ExprKind::Unary { operand, .. } => fold_expr(operand, stats),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            fold_expr(lhs, stats);
+            fold_expr(rhs, stats);
+        }
+        ExprKind::Call { args, .. } => {
+            for a in args {
+                fold_expr(a, stats);
+            }
+        }
+        ExprKind::Index { base, index } => {
+            fold_expr(base, stats);
+            fold_expr(index, stats);
+        }
+        ExprKind::Array(items) | ExprKind::Tuple(items) => {
+            for a in items {
+                fold_expr(a, stats);
+            }
+        }
+        ExprKind::Range { lo, hi } => {
+            fold_expr(lo, stats);
+            fold_expr(hi, stats);
+        }
+        ExprKind::Dict(pairs) => {
+            for (k, v) in pairs {
+                fold_expr(k, stats);
+                fold_expr(v, stats);
+            }
+        }
+        _ => {}
+    }
+    // Then try to replace this node.
+    if let Some(folded) = try_fold(e) {
+        e.kind = folded;
+        stats.expressions_folded += 1;
+    }
+}
+
+/// Compute the folded form of `e`, or `None` when it must stay (not a
+/// literal operation, or it could raise at runtime).
+fn try_fold(e: &Expr) -> Option<ExprKind> {
+    match &e.kind {
+        ExprKind::Unary { op, operand } => match (op, &operand.kind) {
+            (UnOp::Not, ExprKind::Bool(b)) => Some(ExprKind::Bool(!b)),
+            (UnOp::Neg, ExprKind::Int(v)) => v.checked_neg().map(ExprKind::Int),
+            (UnOp::Neg, ExprKind::Real(v)) => Some(ExprKind::Real(-v)),
+            _ => None,
+        },
+        ExprKind::Binary { op, lhs, rhs } => fold_binary(*op, &lhs.kind, &rhs.kind),
+        _ => None,
+    }
+}
+
+fn fold_binary(op: BinOp, l: &ExprKind, r: &ExprKind) -> Option<ExprKind> {
+    use BinOp::*;
+    use ExprKind::*;
+    match (l, r) {
+        (Bool(a), Bool(b)) => match op {
+            And => Some(Bool(*a && *b)),
+            Or => Some(Bool(*a || *b)),
+            Eq => Some(Bool(a == b)),
+            Ne => Some(Bool(a != b)),
+            _ => Option::None,
+        },
+        // Short-circuit with only the left side literal.
+        (Bool(true), _) if op == Or => Some(Bool(true)),
+        (Bool(false), _) if op == And => Some(Bool(false)),
+        (Int(a), Int(b)) => match op {
+            Add => a.checked_add(*b).map(Int),
+            Sub => a.checked_sub(*b).map(Int),
+            Mul => a.checked_mul(*b).map(Int),
+            // Division/modulo fold only with a provably safe divisor; a
+            // zero divisor must raise at runtime, not vanish at compile
+            // time. checked_div also refuses i64::MIN / -1.
+            Div if *b != 0 => a.checked_div(*b).map(Int),
+            Mod if *b != 0 => a.checked_rem(*b).map(Int),
+            Eq => Some(Bool(a == b)),
+            Ne => Some(Bool(a != b)),
+            Lt => Some(Bool(a < b)),
+            Gt => Some(Bool(a > b)),
+            Le => Some(Bool(a <= b)),
+            Ge => Some(Bool(a >= b)),
+            _ => Option::None,
+        },
+        (Real(a), Real(b)) => fold_real(op, *a, *b),
+        (Int(a), Real(b)) => fold_real(op, *a as f64, *b),
+        (Real(a), Int(b)) => fold_real(op, *a, *b as f64),
+        (Str(a), Str(b)) => match op {
+            Add => Some(Str(format!("{a}{b}"))),
+            Eq => Some(Bool(a == b)),
+            Ne => Some(Bool(a != b)),
+            Lt => Some(Bool(a < b)),
+            Gt => Some(Bool(a > b)),
+            Le => Some(Bool(a <= b)),
+            Ge => Some(Bool(a >= b)),
+            _ => Option::None,
+        },
+        _ => Option::None,
+    }
+}
+
+fn fold_real(op: BinOp, a: f64, b: f64) -> Option<ExprKind> {
+    use BinOp::*;
+    use ExprKind::*;
+    match op {
+        Add => Some(Real(a + b)),
+        Sub => Some(Real(a - b)),
+        Mul => Some(Real(a * b)),
+        Div if b != 0.0 => Some(Real(a / b)),
+        Mod if b != 0.0 => Some(Real(a % b)),
+        Eq => Some(Bool(a == b)),
+        Ne => Some(Bool(a != b)),
+        Lt => Some(Bool(a < b)),
+        Gt => Some(Bool(a > b)),
+        Le => Some(Bool(a <= b)),
+        Ge => Some(Bool(a >= b)),
+        _ => Option::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fold_src(src: &str) -> (Program, FoldStats) {
+        let p = tetra_parser::parse(src).unwrap();
+        fold_program(&p)
+    }
+
+    fn main_source(p: &Program) -> String {
+        tetra_ast::pretty::to_source(p)
+    }
+
+    #[test]
+    fn arithmetic_folds() {
+        let (p, stats) = fold_src("def main():\n    x = 2 + 3 * 4\n");
+        assert!(main_source(&p).contains("x = 14"), "{}", main_source(&p));
+        assert_eq!(stats.expressions_folded, 2);
+    }
+
+    #[test]
+    fn mixed_numeric_folds_to_real() {
+        let (p, _) = fold_src("def main():\n    x = 1 + 0.5\n");
+        assert!(main_source(&p).contains("x = 1.5"), "{}", main_source(&p));
+    }
+
+    #[test]
+    fn string_concat_and_compare_fold() {
+        let (p, _) = fold_src("def main():\n    s = \"ab\" + \"cd\"\n    b = \"a\" < \"b\"\n");
+        let src = main_source(&p);
+        assert!(src.contains("s = \"abcd\""), "{src}");
+        assert!(src.contains("b = true"), "{src}");
+    }
+
+    #[test]
+    fn division_by_zero_literal_does_not_fold() {
+        let (p, stats) = fold_src("def main():\n    x = 1 / 0\n    y = 7 % 0\n");
+        let src = main_source(&p);
+        assert!(src.contains("1 / 0"), "must keep the runtime error: {src}");
+        assert!(src.contains("7 % 0"), "{src}");
+        assert_eq!(stats.expressions_folded, 0);
+    }
+
+    #[test]
+    fn overflow_does_not_fold() {
+        let (p, stats) =
+            fold_src("def main():\n    x = 9223372036854775807 + 1\n");
+        assert!(main_source(&p).contains("9223372036854775807 + 1"));
+        assert_eq!(stats.expressions_folded, 0);
+    }
+
+    #[test]
+    fn logical_and_not_fold() {
+        let (p, _) = fold_src("def main():\n    b = not (true and false)\n");
+        assert!(main_source(&p).contains("b = true"), "{}", main_source(&p));
+    }
+
+    #[test]
+    fn if_true_is_pruned_to_then_arm() {
+        let (p, stats) = fold_src(
+            "def main():\n    if 1 < 2:\n        print(\"kept\")\n    else:\n        print(\"dead\")\n",
+        );
+        let src = main_source(&p);
+        assert!(src.contains("kept"), "{src}");
+        assert!(!src.contains("dead"), "{src}");
+        assert_eq!(stats.branches_pruned, 1);
+    }
+
+    #[test]
+    fn if_false_keeps_else_arm() {
+        let (p, _) = fold_src(
+            "def main():\n    if false:\n        print(\"dead\")\n    else:\n        print(\"live\")\n",
+        );
+        let src = main_source(&p);
+        assert!(src.contains("live"), "{src}");
+        assert!(!src.contains("dead"), "{src}");
+    }
+
+    #[test]
+    fn while_false_is_removed() {
+        let (p, stats) = fold_src(
+            "def main():\n    while false:\n        print(\"never\")\n    print(\"after\")\n",
+        );
+        let src = main_source(&p);
+        assert!(!src.contains("never"), "{src}");
+        assert!(src.contains("after"), "{src}");
+        assert_eq!(stats.loops_removed, 1);
+    }
+
+    #[test]
+    fn variables_do_not_fold() {
+        let (p, stats) = fold_src("def main():\n    x = 1\n    y = x + 2\n");
+        assert!(main_source(&p).contains("x + 2"));
+        assert_eq!(stats.expressions_folded, 0);
+    }
+
+    #[test]
+    fn folding_inside_parallel_constructs() {
+        let (p, stats) = fold_src(
+            "def main():\n    parallel for i in [1 ... 2 + 2]:\n        lock m:\n            x = 3 * 3\n",
+        );
+        let src = main_source(&p);
+        assert!(src.contains("[1 ... 4]"), "{src}");
+        assert!(src.contains("x = 9"), "{src}");
+        assert_eq!(stats.expressions_folded, 2);
+    }
+
+    #[test]
+    fn folded_program_behaviour_is_unchanged() {
+        // End-to-end: fold, re-check, run on the VM, compare with the
+        // unfolded interpreter result.
+        let src = "\
+def main():
+    x = 2 * 3 + 4
+    if 10 > 5:
+        x += 100 / 4
+    while false:
+        x = 0
+    print(x, \" \", \"a\" + \"b\")
+";
+        let parsed = tetra_parser::parse(src).unwrap();
+        let (folded, stats) = fold_program(&parsed);
+        assert!(stats.expressions_folded >= 3);
+        let typed = tetra_types::check(folded).expect("folded program still checks");
+        let program = crate::compile(&typed);
+        let console = tetra_runtime::BufferConsole::new();
+        crate::run(&program, crate::VmConfig::default(), console.clone()).unwrap();
+        assert_eq!(console.output(), "35 ab\n");
+    }
+
+    #[test]
+    fn fold_then_compile_shrinks_bytecode() {
+        let src = "def main():\n    print(1 + 2 + 3 + 4 + 5)\n";
+        let parsed = tetra_parser::parse(src).unwrap();
+        let plain = crate::compile(&tetra_types::check(parsed.clone()).unwrap());
+        let (folded, _) = fold_program(&parsed);
+        let optimized = crate::compile(&tetra_types::check(folded).unwrap());
+        assert!(
+            optimized.instruction_count() < plain.instruction_count(),
+            "{} !< {}",
+            optimized.instruction_count(),
+            plain.instruction_count()
+        );
+    }
+}

@@ -1,0 +1,567 @@
+//! The deterministic scheduler and virtual-time simulator.
+//!
+//! This is the substitution for the paper's 8-core testbed (DESIGN.md §2):
+//! VM threads are interleaved one instruction at a time — always the
+//! runnable thread with the smallest virtual clock — so runs are exactly
+//! reproducible on any host, including the single-core CI container this
+//! reproduction was built in.
+//!
+//! Virtual time models the paper's own explanation of its 62.5 % efficiency:
+//! "the sharing of data structures amongst interpreter threads" (§IV).
+//! Every instruction has a *parallel* cost paid on the thread's own clock
+//! and a *serialized* cost paid on a shared runtime resource (symbol
+//! tables, allocator): with the default 4:1 split, T threads saturate the
+//! shared resource at speedup 5 — reproducing the paper's measured curve
+//! (2× at 2, 4× at 4, ≈5× at 8).
+//!
+//! The GIL mode charges the entire cost through the shared resource,
+//! which pins speedup at ≈1× — the Python contrast of paper §I.
+
+use crate::bytecode::CompiledProgram;
+use crate::vm::{CostClass, Feed, Outcome, Registry, Table, VmState, VmThread, World};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tetra_runtime::{
+    ConsoleRef, ErrorKind, GcStats, Heap, HeapConfig, MutatorGuard, RuntimeError, Value,
+};
+
+/// Virtual-time cost model (all in abstract "units").
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Per-instruction cost paid on the thread's own clock.
+    pub instr_parallel: u64,
+    /// Per-instruction cost serialized through the shared runtime resource.
+    pub instr_serial: u64,
+    /// Extra serialized cost of a heap allocation.
+    pub alloc_serial: u64,
+    /// Extra serialized cost of a builtin call.
+    pub builtin_serial: u64,
+    /// Cost of creating one thread (paid by the parent, serially).
+    pub spawn: u64,
+    /// Units of virtual time per simulated millisecond (`sleep`).
+    pub units_per_ms: u64,
+    /// Serialize *everything* through the shared resource (GIL mode).
+    pub gil: bool,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            instr_parallel: 4,
+            instr_serial: 1,
+            alloc_serial: 8,
+            builtin_serial: 4,
+            spawn: 400,
+            units_per_ms: 5_000,
+            gil: false,
+        }
+    }
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Worker count for `parallel for` (the simulated "cores"/threads T).
+    pub workers: usize,
+    pub cost: CostModel,
+    pub gc: HeapConfig,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig { workers: 4, cost: CostModel::default(), gc: HeapConfig::default() }
+    }
+}
+
+/// Results of a simulated run.
+#[derive(Debug, Clone)]
+pub struct SimStats {
+    /// Virtual time at which the last thread finished.
+    pub virtual_elapsed: u64,
+    /// Total instructions executed across all threads.
+    pub instructions: u64,
+    /// Threads created (including main).
+    pub threads: u32,
+    /// Lock acquisitions that had to wait.
+    pub lock_contentions: u64,
+    pub gc: GcStats,
+}
+
+struct SimLock {
+    holder: Option<u32>,
+    /// Line where the holder took the lock (for re-entry messages).
+    holder_line: u32,
+    waiters: Vec<u32>,
+}
+
+/// Run a compiled program deterministically, returning stats.
+pub fn run(
+    program: &CompiledProgram,
+    config: VmConfig,
+    console: ConsoleRef,
+) -> Result<SimStats, RuntimeError> {
+    let mut sched = Scheduler::new(program, config, console);
+    sched.run()
+}
+
+struct Scheduler<'p> {
+    program: &'p CompiledProgram,
+    config: VmConfig,
+    heap: Arc<Heap>,
+    /// The scheduler thread's single GC mutator registration. A second
+    /// registration on the same OS thread would deadlock the collector.
+    mutator: MutatorGuard,
+    registry: Arc<Registry>,
+    console: ConsoleRef,
+    threads: Vec<VmThread>,
+    locks: HashMap<String, SimLock>,
+    /// Shared-runtime resource availability (virtual time).
+    runtime_free: u64,
+    next_id: u32,
+    lock_contentions: u64,
+    instructions: u64,
+}
+
+impl<'p> Scheduler<'p> {
+    fn new(program: &'p CompiledProgram, config: VmConfig, console: ConsoleRef) -> Self {
+        let heap = Heap::new(config.gc.clone());
+        let mutator = heap.register_mutator();
+        let registry = Arc::new(Registry::default());
+        Scheduler {
+            program,
+            config,
+            heap,
+            mutator,
+            registry,
+            console,
+            threads: Vec::new(),
+            locks: HashMap::new(),
+            runtime_free: 0,
+            next_id: 0,
+            lock_contentions: 0,
+            instructions: 0,
+        }
+    }
+
+    fn new_thread(
+        &mut self,
+        parent: Option<u32>,
+        unit: u16,
+        locals: Table,
+        outers: Vec<Table>,
+        at_time: u64,
+    ) -> u32 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut t = VmThread::new(id, parent, unit, locals, outers, &self.registry);
+        t.vtime = at_time;
+        self.threads.push(t);
+        id
+    }
+
+    fn thread(&mut self, id: u32) -> &mut VmThread {
+        &mut self.threads[id as usize]
+    }
+
+    fn run(&mut self) -> Result<SimStats, RuntimeError> {
+        let main_unit = self.program.main;
+        let nlocals = self.program.unit(main_unit).nlocals as usize;
+        let locals = self.registry.new_table(vec![Value::None; nlocals]);
+        self.new_thread(None, main_unit, locals, Vec::new(), 0);
+
+        loop {
+            // Pick the runnable thread with the smallest virtual clock
+            // (ties by id → fully deterministic).
+            let mut runnable = 0u32;
+            let mut tid_opt: Option<(u64, u32)> = None;
+            for t in &self.threads {
+                if t.state == VmState::Runnable {
+                    runnable += 1;
+                    let key = (t.vtime, t.id);
+                    if tid_opt.is_none() || key < tid_opt.unwrap() {
+                        tid_opt = Some(key);
+                    }
+                }
+            }
+            let Some((_, tid)) = tid_opt else {
+                if self.threads.iter().all(|t| t.state == VmState::Done) {
+                    break;
+                }
+                // Deadlock (or a join that can never complete): raise into
+                // the first blocked thread — a `try:` there can catch it,
+                // mirroring the interpreter's detect-at-acquire behaviour.
+                let blocked: Vec<(u32, String)> = self
+                    .threads
+                    .iter()
+                    .filter_map(|t| match &t.state {
+                        VmState::BlockedLock(name) => Some((t.id, name.clone())),
+                        _ => None,
+                    })
+                    .collect();
+                let Some((victim, want)) = blocked.first().cloned() else {
+                    return Err(self.stuck_error());
+                };
+                let err = RuntimeError::new(
+                    ErrorKind::Deadlock,
+                    self.stuck_error().message,
+                    0,
+                );
+                // Remove the victim from the wait queue and unwind it.
+                if let Some(entry) = self.locks.get_mut(&want) {
+                    entry.waiters.retain(|w| *w != victim);
+                }
+                self.thread(victim).state = VmState::Runnable;
+                self.thread(victim).advance_ip();
+                self.deliver(victim, err)?;
+                continue;
+            };
+
+            // Run the chosen thread for a bounded batch of instructions —
+            // but only while it is the ONLY runnable thread. With several
+            // runnable threads the scheduler must interleave instruction by
+            // instruction so the virtual-time resource queueing (and lock
+            // acquisition order) is modeled faithfully; with one thread,
+            // batching is semantically identical and slashes overhead.
+            let batch: u32 = if runnable == 1 { 256 } else { 1 };
+            let idx = tid as usize;
+            let mut pending: Option<Outcome> = None;
+            for _ in 0..batch {
+                // Disjoint field borrows: the stepped thread is mutable;
+                // the world pieces and cost bookkeeping are other fields.
+                let world = World {
+                    program: self.program,
+                    heap: &self.heap,
+                    mutator: &self.mutator,
+                    registry: &self.registry,
+                    console: &self.console,
+                };
+                let thread = &mut self.threads[idx];
+                let stepped = thread.step(&world);
+                self.instructions += 1;
+                let (outcome, cost) = match stepped {
+                    Ok(x) => x,
+                    Err(e) => {
+                        // Raise into the thread's handlers (or its parent).
+                        self.deliver(tid, e)?;
+                        pending = None;
+                        break;
+                    }
+                };
+                // Inline cost charging (same model as `charge`).
+                let m = &self.config.cost;
+                let (parallel, serial) = match cost {
+                    CostClass::Basic => (m.instr_parallel, m.instr_serial),
+                    CostClass::SharedAccess => (m.instr_parallel, m.instr_serial * 2),
+                    CostClass::Alloc => (m.instr_parallel, m.instr_serial + m.alloc_serial),
+                    CostClass::Builtin => (m.instr_parallel, m.instr_serial + m.builtin_serial),
+                    CostClass::Sleep(ms) => (ms * m.units_per_ms, 0),
+                };
+                if m.gil {
+                    let start = thread.vtime.max(self.runtime_free);
+                    thread.vtime = start + parallel + serial;
+                    self.runtime_free = thread.vtime;
+                } else {
+                    thread.vtime += parallel;
+                    if serial > 0 {
+                        let start = thread.vtime.max(self.runtime_free);
+                        thread.vtime = start + serial;
+                        self.runtime_free = thread.vtime;
+                    }
+                }
+                if !matches!(outcome, Outcome::Normal) {
+                    pending = Some(outcome);
+                    break;
+                }
+            }
+            if let Some(outcome) = pending {
+                self.handle(tid, outcome)?;
+            }
+        }
+
+        Ok(SimStats {
+            virtual_elapsed: self.threads.iter().map(|t| t.vtime).max().unwrap_or(0),
+            instructions: self.instructions,
+            threads: self.next_id,
+            lock_contentions: self.lock_contentions,
+            gc: self.heap.stats(),
+        })
+    }
+
+    fn handle(&mut self, tid: u32, outcome: Outcome) -> Result<(), RuntimeError> {
+        match outcome {
+            Outcome::Normal => Ok(()),
+            Outcome::Finished => self.finish_or_refeed(tid),
+            Outcome::Spawn { thunks, join } => {
+                let (parent_time, parent_frame) = {
+                    let t = self.thread(tid);
+                    let f = t.frames.last().expect("spawning thread has a frame");
+                    (t.vtime, (f.locals.clone(), f.outers.clone()))
+                };
+                let spawn_cost = self.config.cost.spawn;
+                let mut children = Vec::with_capacity(thunks.len());
+                for (i, unit) in thunks.iter().enumerate() {
+                    let nlocals = self.program.unit(*unit).nlocals as usize;
+                    let locals = self.registry.new_table(vec![Value::None; nlocals]);
+                    // The child's outer chain is the parent frame itself,
+                    // then the parent's own outers.
+                    let mut outers = vec![parent_frame.0.clone()];
+                    outers.extend(parent_frame.1.iter().cloned());
+                    let start = parent_time + spawn_cost * (i as u64 + 1);
+                    let id = self.new_thread(Some(tid), *unit, locals, outers, start);
+                    self.thread(id).background = !join;
+                    children.push(id);
+                }
+                {
+                    // step() already advanced past the Parallel instruction.
+                    let t = self.thread(tid);
+                    t.vtime += spawn_cost * thunks.len() as u64;
+                    if join {
+                        t.state = VmState::Joining(children);
+                    }
+                }
+                Ok(())
+            }
+            Outcome::ParallelFor { thunk, items } => {
+                if items.is_empty() {
+                    return Ok(()); // step() already advanced past the instruction
+                }
+                let (parent_time, parent_frame) = {
+                    let t = self.thread(tid);
+                    let f = t.frames.last().expect("spawning thread has a frame");
+                    (t.vtime, (f.locals.clone(), f.outers.clone()))
+                };
+                let workers = self.config.workers.clamp(1, items.len());
+                let per = items.len().div_ceil(workers);
+                let spawn_cost = self.config.cost.spawn;
+                let mut children = Vec::with_capacity(workers);
+                for (i, chunk) in items.chunks(per).enumerate() {
+                    let nlocals = self.program.unit(thunk).nlocals as usize;
+                    let mut init = vec![Value::None; nlocals];
+                    init[0] = chunk[0];
+                    let locals = self.registry.new_table(init);
+                    let mut outers = vec![parent_frame.0.clone()];
+                    outers.extend(parent_frame.1.iter().cloned());
+                    let start = parent_time + spawn_cost * (i as u64 + 1);
+                    let id =
+                        self.new_thread(Some(tid), thunk, locals.clone(), outers.clone(), start);
+                    // The chunk lives in a registered table so its object
+                    // elements stay rooted for the whole loop.
+                    let items = self.registry.new_table(chunk.to_vec());
+                    self.thread(id).feed =
+                        Some(Feed { items, next: 1, unit: thunk, locals, outers });
+                    children.push(id);
+                }
+                {
+                    let t = self.thread(tid);
+                    t.vtime += spawn_cost * workers as u64;
+                    t.state = VmState::Joining(children);
+                }
+                Ok(())
+            }
+            Outcome::WantLock { name, line } => {
+                let entry = self.locks.entry(name.clone()).or_insert(SimLock {
+                    holder: None,
+                    holder_line: 0,
+                    waiters: Vec::new(),
+                });
+                match entry.holder {
+                    None => {
+                        entry.holder = Some(tid);
+                        entry.holder_line = line;
+                        let t = self.thread(tid);
+                        t.held_locks.push(name);
+                        t.advance_ip();
+                        Ok(())
+                    }
+                    Some(h) if h == tid => {
+                        let err = RuntimeError::new(
+                            ErrorKind::LockReentry,
+                            format!(
+                                "this thread already holds lock `{name}` (taken at line {}); \
+                                 a second `lock {name}:` would wait for itself forever",
+                                entry.holder_line
+                            ),
+                            line,
+                        );
+                        // Skip past the EnterLock before unwinding so a
+                        // handler resumes cleanly.
+                        self.thread(tid).advance_ip();
+                        self.deliver(tid, err)
+                    }
+                    Some(_) => {
+                        entry.waiters.push(tid);
+                        self.lock_contentions += 1;
+                        self.thread(tid).state = VmState::BlockedLock(name);
+                        Ok(())
+                    }
+                }
+            }
+            Outcome::Unlocked { name } => {
+                let t = self.thread(tid);
+                if let Some(pos) = t.held_locks.iter().rposition(|l| *l == name) {
+                    t.held_locks.remove(pos);
+                }
+                self.release_lock(tid, &name);
+                Ok(())
+            }
+        }
+    }
+
+    /// Release `name` held by `tid` and wake its waiters.
+    fn release_lock(&mut self, tid: u32, name: &str) {
+        let release_time = self.thread(tid).vtime;
+        if let Some(entry) = self.locks.get_mut(name) {
+            debug_assert_eq!(entry.holder, Some(tid));
+            entry.holder = None;
+            let waiters = std::mem::take(&mut entry.waiters);
+            for w in waiters {
+                let t = self.thread(w);
+                t.state = VmState::Runnable;
+                t.vtime = t.vtime.max(release_time);
+            }
+        }
+    }
+
+    /// Raise a runtime error in thread `tid`: unwind to its innermost
+    /// `try:` handler (releasing locks acquired inside the `try` body), or
+    /// — with no handler — finish the thread with the error, delivering it
+    /// to the joining parent, or abort the simulation when it reaches a
+    /// thread nobody joins.
+    fn deliver(&mut self, tid: u32, err: RuntimeError) -> Result<(), RuntimeError> {
+        // Pop the innermost handler, if any.
+        let handler = self.thread(tid).handlers.pop();
+        match handler {
+            Some(h) => {
+                // Release locks acquired after the try was entered.
+                let to_release: Vec<String> =
+                    self.thread(tid).held_locks.split_off(h.locks_mark);
+                for name in to_release.iter().rev() {
+                    self.release_lock(tid, name);
+                }
+                // Materialize the message; the handler's first instruction
+                // stores it into the catch variable.
+                let msg = self.heap.alloc_str(
+                    &self.mutator,
+                    self.registry.as_ref(),
+                    err.message.clone(),
+                );
+                let t = self.thread(tid);
+                while t.frames.len() > h.frame_depth {
+                    t.frames.pop();
+                }
+                t.stack.write().truncate(h.stack_height);
+                t.stack.write().push(msg);
+                if let Some(f) = t.frames.last_mut() {
+                    f.ip = h.handler_ip as usize;
+                }
+                t.state = VmState::Runnable;
+                Ok(())
+            }
+            None => {
+                // Release everything the thread still holds.
+                let to_release: Vec<String> =
+                    std::mem::take(&mut self.thread(tid).held_locks);
+                for name in to_release.iter().rev() {
+                    self.release_lock(tid, name);
+                }
+                let (parent, background) = {
+                    let t = self.thread(tid);
+                    (t.parent, t.background)
+                };
+                if parent.is_none() && !background {
+                    return Err(err); // uncaught in main: abort the run
+                }
+                {
+                    let t = self.thread(tid);
+                    t.error = Some(err);
+                    t.feed = None; // no more items for a failed worker
+                }
+                self.finish_or_refeed(tid)
+            }
+        }
+    }
+
+    /// A thread's outermost frame returned: feed it the next parallel-for
+    /// item, or mark it done and wake its joining parent.
+    fn finish_or_refeed(&mut self, tid: u32) -> Result<(), RuntimeError> {
+        // Refeed parallel-for workers.
+        let refeed = {
+            let t = self.thread(tid);
+            match &mut t.feed {
+                Some(feed) if feed.next < feed.items.read().len() => {
+                    let item = feed.items.read()[feed.next];
+                    feed.next += 1;
+                    Some((feed.unit, feed.locals.clone(), feed.outers.clone(), item))
+                }
+                _ => None,
+            }
+        };
+        if let Some((unit, locals, outers, item)) = refeed {
+            locals.write()[0] = item;
+            let t = self.thread(tid);
+            t.frames.push(crate::vm::VmFrame { unit, ip: 0, locals, outers, stack_base: 0 });
+            t.stack.write().clear();
+            return Ok(());
+        }
+        let (end_time, parent) = {
+            let t = self.thread(tid);
+            t.state = VmState::Done;
+            (t.vtime, t.parent)
+        };
+        // Wake a parent joining on this thread once all siblings finished.
+        if let Some(pid) = parent {
+            let done_children: Vec<u32> = match &self.threads[pid as usize].state {
+                VmState::Joining(children) => children.clone(),
+                _ => return Ok(()),
+            };
+            let all_done =
+                done_children.iter().all(|c| self.threads[*c as usize].state == VmState::Done);
+            if all_done {
+                let join_time = done_children
+                    .iter()
+                    .map(|c| self.threads[*c as usize].vtime)
+                    .max()
+                    .unwrap_or(end_time);
+                let child_error = done_children
+                    .iter()
+                    .find_map(|c| self.threads[*c as usize].error.take());
+                let p = self.thread(pid);
+                p.state = VmState::Runnable;
+                p.vtime = p.vtime.max(join_time);
+                // The first failing child's error surfaces in the parent at
+                // the join point — where a `try:` around the parallel
+                // construct can catch it.
+                if let Some(e) = child_error {
+                    return self.deliver(pid, e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn stuck_error(&self) -> RuntimeError {
+        let blocked: Vec<String> = self
+            .threads
+            .iter()
+            .filter_map(|t| match &t.state {
+                VmState::BlockedLock(name) => {
+                    Some(format!("thread {} waits for lock `{name}`", t.id))
+                }
+                _ => None,
+            })
+            .collect();
+        if blocked.is_empty() {
+            RuntimeError::new(
+                ErrorKind::ThreadError,
+                "simulation stuck: threads joining children that never finish (VM bug)",
+                0,
+            )
+        } else {
+            RuntimeError::new(
+                ErrorKind::Deadlock,
+                format!("deadlock: {}", blocked.join(", which is held while ")),
+                0,
+            )
+        }
+    }
+}

@@ -1,0 +1,613 @@
+//! The VM: thread state and single-instruction stepping.
+//!
+//! Unlike the tree-walking interpreter, the VM is an explicit machine —
+//! frames, instruction pointers and an operand stack — so execution can be
+//! *stepped*: the deterministic scheduler in [`crate::sched`] interleaves
+//! VM threads one instruction at a time, which is what makes the
+//! virtual-time simulation (and deterministic replay) possible.
+//!
+//! All mutable thread state lives behind shared tables registered with a
+//! [`Registry`], which doubles as the GC root source: collection can happen
+//! inside any allocating instruction without tracking Rust borrows.
+
+use crate::bytecode::{CompiledProgram, Const, Instr};
+use parking_lot::{Mutex, RwLock};
+use std::sync::{Arc, Weak};
+use tetra_ast::Type;
+use tetra_runtime::{
+    ConsoleRef, ErrorKind, Heap, MutatorGuard, Object, RootSink, RootSource, RuntimeError,
+    Value,
+};
+use tetra_stdlib::{ops, Builtin};
+
+/// A shared table of values: one per frame's locals, plus each thread's
+/// operand stack.
+pub type Table = Arc<RwLock<Vec<Value>>>;
+
+/// Registry of all live tables; the single GC root source of a VM run.
+#[derive(Default)]
+pub struct Registry {
+    tables: Mutex<Vec<Weak<RwLock<Vec<Value>>>>>,
+}
+
+impl Registry {
+    pub fn new_table(&self, init: Vec<Value>) -> Table {
+        let t = Arc::new(RwLock::new(init));
+        let mut tables = self.tables.lock();
+        tables.push(Arc::downgrade(&t));
+        // Garbage-collect dead weak entries occasionally.
+        if tables.len().is_multiple_of(256) {
+            tables.retain(|w| w.strong_count() > 0);
+        }
+        t
+    }
+}
+
+impl RootSource for Registry {
+    fn roots(&self, sink: &mut RootSink) {
+        for w in self.tables.lock().iter() {
+            if let Some(t) = w.upgrade() {
+                for v in t.read().iter() {
+                    sink.value(*v);
+                }
+            }
+        }
+    }
+}
+
+/// One call frame.
+pub struct VmFrame {
+    pub unit: u16,
+    pub ip: usize,
+    pub locals: Table,
+    /// Enclosing frames' locals for thunks; `outers[0]` is depth 1.
+    pub outers: Vec<Table>,
+    /// Operand stack height at frame entry (restored on return).
+    pub stack_base: usize,
+}
+
+/// Why a thread cannot run right now.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmState {
+    Runnable,
+    BlockedLock(String),
+    /// Waiting for these child thread ids to finish.
+    Joining(Vec<u32>),
+    Done,
+}
+
+/// Work items fed to a parallel-for worker. The items live in a
+/// registry-registered table so they stay GC-rooted for the loop's
+/// lifetime.
+pub struct Feed {
+    pub items: Table,
+    pub next: usize,
+    /// The thunk re-entered for each item.
+    pub unit: u16,
+    pub locals: Table,
+    pub outers: Vec<Table>,
+}
+
+/// An installed `try:` handler (the VM's unwind target).
+#[derive(Debug, Clone)]
+pub struct Handler {
+    /// `frames.len()` when the handler was installed.
+    pub frame_depth: usize,
+    /// Operand-stack height when the handler was installed.
+    pub stack_height: usize,
+    /// Instruction index of the handler entry (starts with the store of
+    /// the error message into the catch variable).
+    pub handler_ip: u32,
+    /// `held_locks.len()` at installation — locks past this mark are
+    /// released when unwinding to the handler.
+    pub locks_mark: usize,
+}
+
+/// One VM thread (main, parallel child, background child, or worker).
+pub struct VmThread {
+    pub id: u32,
+    pub parent: Option<u32>,
+    pub frames: Vec<VmFrame>,
+    pub stack: Table,
+    pub state: VmState,
+    /// Virtual time (simulation clock units).
+    pub vtime: u64,
+    pub feed: Option<Feed>,
+    /// True for `background:` children (not joined by anyone).
+    pub background: bool,
+    pub instructions: u64,
+    /// Installed `try:` handlers, innermost last.
+    pub handlers: Vec<Handler>,
+    /// Lock names this thread currently holds, in acquisition order.
+    pub held_locks: Vec<String>,
+    /// An uncaught error (delivered to the joining parent, or reported at
+    /// program end for background threads).
+    pub error: Option<RuntimeError>,
+}
+
+/// Cost class of an executed instruction, mapped to virtual time by the
+/// scheduler's [`crate::sched::CostModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    Basic,
+    /// Access to an enclosing (shared) frame.
+    SharedAccess,
+    /// Heap allocation.
+    Alloc,
+    /// A builtin call (typically allocating / touching shared runtime).
+    Builtin,
+    /// A simulated `sleep(ms)`: extra virtual milliseconds.
+    Sleep(u64),
+}
+
+/// What the scheduler must do after a step.
+pub enum Outcome {
+    Normal,
+    /// Spawn these thunks; `join` distinguishes `parallel:` from
+    /// `background:`.
+    Spawn { thunks: Vec<u16>, join: bool },
+    /// Distribute `items` over workers running `thunk`.
+    ParallelFor { thunk: u16, items: Vec<Value> },
+    /// The thread wants this lock; its ip was *not* advanced.
+    WantLock { name: String, line: u32 },
+    /// The thread released this lock.
+    Unlocked { name: String },
+    /// The outermost frame returned; the thread is finished (unless its
+    /// feed has more items).
+    Finished,
+}
+
+/// Everything stepping needs from the scheduler.
+pub struct World<'a> {
+    pub program: &'a CompiledProgram,
+    pub heap: &'a Arc<Heap>,
+    pub mutator: &'a MutatorGuard,
+    pub registry: &'a Registry,
+    pub console: &'a ConsoleRef,
+}
+
+impl VmThread {
+    pub fn new(
+        id: u32,
+        parent: Option<u32>,
+        unit: u16,
+        locals: Table,
+        outers: Vec<Table>,
+        registry: &Registry,
+    ) -> VmThread {
+        VmThread {
+            id,
+            parent,
+            frames: vec![VmFrame { unit, ip: 0, locals, outers, stack_base: 0 }],
+            stack: registry.new_table(Vec::new()),
+            state: VmState::Runnable,
+            vtime: 0,
+            feed: None,
+            background: false,
+            instructions: 0,
+            handlers: Vec::new(),
+            held_locks: Vec::new(),
+            error: None,
+        }
+    }
+
+    pub fn current_line(&self, program: &CompiledProgram) -> u32 {
+        match self.frames.last() {
+            Some(f) => program.unit(f.unit).line_at(f.ip.min(
+                program.unit(f.unit).code.len().saturating_sub(1),
+            )),
+            None => 0,
+        }
+    }
+
+    fn err(&self, program: &CompiledProgram, kind: ErrorKind, msg: impl Into<String>) -> RuntimeError {
+        RuntimeError::new(kind, msg, self.current_line(program))
+    }
+
+    // ---- stack helpers (brief locks; never held across allocation) --------
+
+    fn push(&self, v: Value) {
+        self.stack.write().push(v);
+    }
+
+    fn pop(&self, program: &CompiledProgram) -> Result<Value, RuntimeError> {
+        self.stack.write().pop().ok_or_else(|| {
+            self.err(program, ErrorKind::Value, "VM stack underflow (compiler bug)")
+        })
+    }
+
+    fn peek(&self, program: &CompiledProgram) -> Result<Value, RuntimeError> {
+        self.stack.read().last().copied().ok_or_else(|| {
+            self.err(program, ErrorKind::Value, "VM stack underflow (compiler bug)")
+        })
+    }
+
+    /// Copy the top `n` values (kept on the stack as GC roots).
+    fn top_n(&self, n: usize) -> Vec<Value> {
+        let stack = self.stack.read();
+        stack[stack.len() - n..].to_vec()
+    }
+
+    fn drop_n(&self, n: usize) {
+        let mut stack = self.stack.write();
+        let len = stack.len();
+        stack.truncate(len - n);
+    }
+
+    /// Execute the instruction at the current ip. Returns the outcome and
+    /// the cost class. On `WantLock` the ip is left pointing at the
+    /// `EnterLock` so the scheduler can retry it.
+    pub fn step(&mut self, world: &World) -> Result<(Outcome, CostClass), RuntimeError> {
+        let program = world.program;
+        let frame = self.frames.last().expect("step on a finished thread");
+        let unit = program.unit(frame.unit);
+        let instr = unit.code[frame.ip].clone();
+        let line = unit.line_at(frame.ip);
+        self.instructions += 1;
+
+        let octx = ops::OpCtx {
+            heap: world.heap,
+            mutator: world.mutator,
+            roots: world.registry,
+            line,
+        };
+
+        let mut cost = CostClass::Basic;
+        let mut advance = true;
+        let mut outcome = Outcome::Normal;
+
+        match instr {
+            Instr::Const(i) => {
+                let v = match &program.consts[i as usize] {
+                    Const::None => Value::None,
+                    Const::Int(v) => Value::Int(*v),
+                    Const::Real(v) => Value::Real(*v),
+                    Const::Bool(v) => Value::Bool(*v),
+                    Const::Str(s) => {
+                        cost = CostClass::Alloc;
+                        world.heap.alloc_str(world.mutator, world.registry, s.clone())
+                    }
+                };
+                self.push(v);
+            }
+            Instr::LoadLocal(i) => {
+                let v = self.frames.last().unwrap().locals.read()[i as usize];
+                if matches!(v, Value::None) {
+                    return Err(self.err(
+                        program,
+                        ErrorKind::UndefinedVariable,
+                        "a variable was read before any assignment",
+                    ));
+                }
+                self.push(v);
+            }
+            Instr::StoreLocal(i) => {
+                let v = self.pop(program)?;
+                let locals = self.frames.last().unwrap().locals.clone();
+                let mut locals = locals.write();
+                let slot = &mut locals[i as usize];
+                *slot = ops::widen_like(Some(*slot), v);
+            }
+            Instr::LoadOuter(d, i) => {
+                cost = CostClass::SharedAccess;
+                let table = self.frames.last().unwrap().outers[d as usize - 1].clone();
+                let v = table.read()[i as usize];
+                if matches!(v, Value::None) {
+                    return Err(self.err(
+                        program,
+                        ErrorKind::UndefinedVariable,
+                        "a variable was read before any assignment",
+                    ));
+                }
+                self.push(v);
+            }
+            Instr::StoreOuter(d, i) => {
+                cost = CostClass::SharedAccess;
+                let v = self.pop(program)?;
+                let table = self.frames.last().unwrap().outers[d as usize - 1].clone();
+                let mut table = table.write();
+                let slot = &mut table[i as usize];
+                *slot = ops::widen_like(Some(*slot), v);
+            }
+            Instr::Bin(op) => {
+                let operands = self.top_n(2);
+                let r = ops::binary(&octx, op, operands[0], operands[1])?;
+                self.drop_n(2);
+                self.push(r);
+                if r.as_obj().is_some() {
+                    cost = CostClass::Alloc;
+                }
+            }
+            Instr::Neg => {
+                let v = self.peek(program)?;
+                let r = ops::negate(&octx, v)?;
+                self.drop_n(1);
+                self.push(r);
+            }
+            Instr::Not => {
+                let v = self.peek(program)?;
+                let r = ops::not(&octx, v)?;
+                self.drop_n(1);
+                self.push(r);
+            }
+            Instr::Widen => {
+                let v = self.pop(program)?;
+                self.push(ops::widen_to(&Type::Real, v));
+            }
+            Instr::Pop => {
+                self.pop(program)?;
+            }
+            Instr::Dup2 => {
+                let two = self.top_n(2);
+                self.push(two[0]);
+                self.push(two[1]);
+            }
+            Instr::Jump(t) => {
+                self.frames.last_mut().unwrap().ip = t as usize;
+                advance = false;
+            }
+            Instr::JumpIfFalse(t) => {
+                let v = self.pop(program)?;
+                if !self.truthy(program, v)? {
+                    self.frames.last_mut().unwrap().ip = t as usize;
+                    advance = false;
+                }
+            }
+            Instr::JumpIfFalsePeek(t) => {
+                let v = self.peek(program)?;
+                if !self.truthy(program, v)? {
+                    self.frames.last_mut().unwrap().ip = t as usize;
+                    advance = false;
+                }
+            }
+            Instr::JumpIfTruePeek(t) => {
+                let v = self.peek(program)?;
+                if self.truthy(program, v)? {
+                    self.frames.last_mut().unwrap().ip = t as usize;
+                    advance = false;
+                }
+            }
+            Instr::Call(f, argc) => {
+                let argc = argc as usize;
+                let callee = program.unit(f);
+                let mut locals = vec![Value::None; callee.nlocals as usize];
+                let args = self.top_n(argc);
+                locals[..argc].copy_from_slice(&args);
+                self.drop_n(argc);
+                let locals = world.registry.new_table(locals);
+                let stack_base = self.stack.read().len();
+                // Return to the next instruction.
+                self.frames.last_mut().unwrap().ip += 1;
+                advance = false;
+                if self.frames.len() >= 1000 {
+                    return Err(self.err(
+                        program,
+                        ErrorKind::Value,
+                        "call depth exceeded 1000 (infinite recursion?)",
+                    ));
+                }
+                self.frames.push(VmFrame {
+                    unit: f,
+                    ip: 0,
+                    locals,
+                    outers: Vec::new(),
+                    stack_base,
+                });
+            }
+            Instr::CallBuiltin(b, argc) => {
+                let argc = argc as usize;
+                if b == Builtin::Sleep {
+                    // Simulated: advance virtual time without real sleeping.
+                    let ms = self.pop(program)?.as_int().unwrap_or(0).max(0) as u64;
+                    self.push(Value::None);
+                    cost = CostClass::Sleep(ms);
+                } else {
+                    let args = self.top_n(argc);
+                    let hctx = tetra_stdlib::HostCtx {
+                        heap: world.heap,
+                        mutator: world.mutator,
+                        roots: world.registry,
+                        console: world.console,
+                        thread: None,
+                        line,
+                    };
+                    let r = tetra_stdlib::call_builtin(b, &hctx, &args)?;
+                    self.drop_n(argc);
+                    self.push(r);
+                    cost = CostClass::Builtin;
+                }
+            }
+            Instr::Return => {
+                let value = self.pop(program)?;
+                let frame = self.frames.pop().expect("return without a frame");
+                self.stack.write().truncate(frame.stack_base);
+                // Handlers installed inside the returning frame are gone.
+                let depth = self.frames.len();
+                self.handlers.retain(|h| h.frame_depth <= depth);
+                if self.frames.is_empty() {
+                    outcome = Outcome::Finished;
+                    advance = false;
+                } else {
+                    self.push(value);
+                    advance = false; // caller ip was advanced at Call time
+                }
+            }
+            Instr::MakeArray(n) => {
+                let n = n as usize;
+                let items = self.top_n(n);
+                let arr = world.heap.alloc(world.mutator, world.registry, Object::array(items));
+                self.drop_n(n);
+                self.push(Value::Obj(arr));
+                cost = CostClass::Alloc;
+            }
+            Instr::MakeRange => {
+                let two = self.top_n(2);
+                let (Some(a), Some(b)) = (two[0].as_int(), two[1].as_int()) else {
+                    return Err(self.err(program, ErrorKind::Value, "range bounds must be ints"));
+                };
+                const MAX_RANGE: i64 = 50_000_000;
+                if b.saturating_sub(a) > MAX_RANGE {
+                    return Err(self.err(
+                        program,
+                        ErrorKind::Value,
+                        format!("range [{a} ... {b}] is too large (over {MAX_RANGE} elements)"),
+                    ));
+                }
+                let items: Vec<Value> = (a..=b).map(Value::Int).collect();
+                let arr = world.heap.alloc(world.mutator, world.registry, Object::array(items));
+                self.drop_n(2);
+                self.push(Value::Obj(arr));
+                cost = CostClass::Alloc;
+            }
+            Instr::MakeTuple(n) => {
+                let n = n as usize;
+                let items = self.top_n(n);
+                let t = world.heap.alloc(world.mutator, world.registry, Object::Tuple(items));
+                self.drop_n(n);
+                self.push(Value::Obj(t));
+                cost = CostClass::Alloc;
+            }
+            Instr::MakeDict(n) => {
+                let n = n as usize;
+                let flat = self.top_n(2 * n);
+                let mut map = std::collections::HashMap::with_capacity(n);
+                for pair in flat.chunks(2) {
+                    let key = pair[0].to_dict_key().ok_or_else(|| {
+                        self.err(
+                            program,
+                            ErrorKind::Value,
+                            format!("a {} cannot be a dict key", pair[0].type_name()),
+                        )
+                    })?;
+                    map.insert(key, pair[1]);
+                }
+                let d = world.heap.alloc(world.mutator, world.registry, Object::dict(map));
+                self.drop_n(2 * n);
+                self.push(Value::Obj(d));
+                cost = CostClass::Alloc;
+            }
+            Instr::Index => {
+                let two = self.top_n(2);
+                let v = ops::index_read(&octx, two[0], two[1])?;
+                self.drop_n(2);
+                self.push(v);
+                cost = CostClass::SharedAccess;
+            }
+            Instr::IndexStore => {
+                let three = self.top_n(3);
+                ops::index_write(&octx, three[0], three[1], three[2])?;
+                self.drop_n(3);
+                cost = CostClass::SharedAccess;
+            }
+            Instr::Assert { has_msg } => {
+                let msg = if has_msg { Some(self.pop(program)?) } else { None };
+                let cond = self.pop(program)?;
+                if !self.truthy(program, cond)? {
+                    let text = match msg {
+                        Some(m) => m.display(),
+                        None => "assertion failed".to_string(),
+                    };
+                    return Err(self.err(program, ErrorKind::AssertionFailed, text));
+                }
+            }
+            Instr::EnterLock(c) => {
+                let Const::Str(name) = &program.consts[c as usize] else {
+                    unreachable!("lock name constant must be a string");
+                };
+                outcome = Outcome::WantLock { name: name.clone(), line };
+                advance = false; // scheduler advances on successful acquire
+            }
+            Instr::ExitLock(c) => {
+                let Const::Str(name) = &program.consts[c as usize] else {
+                    unreachable!("lock name constant must be a string");
+                };
+                outcome = Outcome::Unlocked { name: name.clone() };
+            }
+            Instr::Parallel(thunks) => {
+                outcome = Outcome::Spawn { thunks, join: true };
+            }
+            Instr::Background(thunks) => {
+                outcome = Outcome::Spawn { thunks, join: false };
+            }
+            Instr::TryPush(handler_ip) => {
+                self.handlers.push(Handler {
+                    frame_depth: self.frames.len(),
+                    stack_height: self.stack.read().len(),
+                    handler_ip,
+                    locks_mark: self.held_locks.len(),
+                });
+            }
+            Instr::TryPop => {
+                self.handlers.pop();
+            }
+            Instr::ParallelFor(t) => {
+                // Peek (not pop) so the sequence stays rooted while char
+                // strings are allocated below.
+                let arr = self.peek(program)?;
+                let items = match arr {
+                    Value::Obj(r) => match r.object() {
+                        Object::Array(items) => items.lock().clone(),
+                        Object::Str(s) => {
+                            // Iterate characters, as the interpreter does.
+                            let chars: Vec<String> =
+                                s.chars().map(|c| c.to_string()).collect();
+                            let mut out = Vec::with_capacity(chars.len());
+                            for c in chars {
+                                let v = world.heap.alloc_str(
+                                    world.mutator,
+                                    world.registry,
+                                    c,
+                                );
+                                // Root each char via the operand stack.
+                                self.push(v);
+                                out.push(v);
+                            }
+                            self.drop_n(out.len());
+                            out
+                        }
+                        _ => {
+                            return Err(self.err(
+                                program,
+                                ErrorKind::Value,
+                                "parallel for needs an array",
+                            ))
+                        }
+                    },
+                    other => {
+                        return Err(self.err(
+                            program,
+                            ErrorKind::Value,
+                            format!("cannot iterate over a {}", other.type_name()),
+                        ))
+                    }
+                };
+                self.drop_n(1); // the sequence value
+                outcome = Outcome::ParallelFor { thunk: t, items };
+            }
+        }
+
+        if advance {
+            if let Some(f) = self.frames.last_mut() {
+                f.ip += 1;
+            }
+        }
+        Ok((outcome, cost))
+    }
+
+    fn truthy(&self, program: &CompiledProgram, v: Value) -> Result<bool, RuntimeError> {
+        v.as_bool().ok_or_else(|| {
+            self.err(
+                program,
+                ErrorKind::Value,
+                format!("condition evaluated to a {}, not a bool", v.type_name()),
+            )
+        })
+    }
+
+    /// Advance past the `EnterLock` the thread was parked on.
+    pub fn advance_ip(&mut self) {
+        if let Some(f) = self.frames.last_mut() {
+            f.ip += 1;
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! E4 — a scripted parallel-debugging session, reproducing the workflow of
+//! the paper's IDE (Fig. IV / §III): multiple "code views", one per
+//! thread, stepped independently, with variable inspection and a thread
+//! timeline at the end.
+//!
+//! ```sh
+//! cargo run --example debugger_session
+//! ```
+
+use std::time::Duration;
+use tetra::{debugger::Debugger, BufferConsole, InterpConfig, Tetra};
+
+const PROGRAM: &str = "\
+def count(out [int], slot int, n int):
+    i = 0
+    while i < n:
+        i += 1
+        out[slot] = i
+
+def main():
+    out = [0, 0]
+    parallel:
+        count(out, 0, 4)
+        count(out, 1, 4)
+    print(out)
+";
+
+fn main() {
+    println!("source under debug:\n{PROGRAM}");
+    let program = Tetra::compile(PROGRAM).expect("compiles");
+    let dbg = Debugger::new(true); // start paused, like an IDE debug session
+    let console = BufferConsole::new();
+    let interp = program.debug(
+        InterpConfig { worker_threads: 2, ..InterpConfig::default() },
+        console.clone(),
+        dbg.clone(),
+    );
+    let runner = std::thread::spawn(move || interp.run());
+    let wait = Duration::from_secs(20);
+
+    // Main pauses at its first statement. Step it until the parallel block
+    // has spawned the two children.
+    assert!(dbg.wait_until(wait, |p| !p.is_empty()));
+    let main_id = dbg.paused()[0].thread;
+    println!("thread {main_id} (main) paused at line {}", dbg.paused()[0].line);
+    for _ in 0..6 {
+        dbg.step(main_id);
+        if dbg.wait_until(Duration::from_millis(300), |p| {
+            p.iter().filter(|t| t.thread != main_id).count() == 2
+        }) {
+            break;
+        }
+    }
+    dbg.wait_until(wait, |p| p.iter().filter(|t| t.thread != main_id).count() == 2);
+    let children: Vec<u32> =
+        dbg.paused().iter().map(|p| p.thread).filter(|t| *t != main_id).collect();
+    println!("\nparallel block spawned threads {children:?}; both paused:");
+    for p in dbg.paused() {
+        if p.thread != main_id {
+            println!("  [thread {} view] before line {}", p.thread, p.line);
+        }
+    }
+
+    // Step ONLY the first child a few statements — the second stays frozen.
+    let (walked, frozen) = (children[0], children[1]);
+    println!("\nstepping thread {walked} while thread {frozen} stays frozen:");
+    for step in 1..=5 {
+        dbg.step(walked);
+        dbg.wait_until(wait, |p| p.iter().any(|t| t.thread == walked));
+        if let Some(p) = dbg.paused().iter().find(|p| p.thread == walked) {
+            let vars: Vec<String> =
+                p.locals.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            println!("  step {step}: thread {walked} before line {} ({})", p.line, vars.join(", "));
+        }
+    }
+    if let Some(p) = dbg.paused().iter().find(|p| p.thread == frozen) {
+        println!("  thread {frozen} is still before line {} — untouched", p.line);
+    }
+
+    // Let everything finish and show the recorded timeline.
+    dbg.resume_all();
+    runner.join().unwrap().expect("program finishes");
+    println!("\nprogram output: {}", console.output().trim_end());
+}

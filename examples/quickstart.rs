@@ -1,0 +1,62 @@
+//! Quickstart: compile and run a Tetra program from Rust.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tetra::Tetra;
+
+fn main() {
+    // Tetra source: Python-ish syntax, static types with local inference,
+    // and parallelism as a first-class statement.
+    let source = r#"
+def fib(n int) int:
+    if n < 2:
+        return n
+    return fib(n - 1) + fib(n - 2)
+
+def main():
+    # Compute four Fibonacci numbers in four threads.
+    results = fill(4, 0)
+    parallel:
+        results[0] = fib(18)
+        results[1] = fib(19)
+        results[2] = fib(20)
+        results[3] = fib(21)
+    print("fib(18..21) = ", results)
+
+    # A parallel-for with a lock-protected accumulator.
+    total = 0
+    parallel for r in results:
+        lock t:
+            total += r
+    print("sum = ", total)
+"#;
+
+    // 1. Compile: parse + type-check. Errors render with source carets.
+    let program = match Tetra::compile(source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}", e.render());
+            std::process::exit(1);
+        }
+    };
+
+    // 2. Run on the real-thread interpreter, capturing output.
+    let (output, stats) = program.run_captured(&[]).expect("program runs");
+    print!("{output}");
+    println!(
+        "[interpreter: {} threads spawned, {} GC allocations, {} collections]",
+        stats.threads_spawned, stats.gc.allocations, stats.gc.collections
+    );
+
+    // 3. The same program runs on the deterministic bytecode VM, which
+    //    reports *virtual time* — reproducible speedup on any machine.
+    let console = tetra::BufferConsole::new();
+    let sim = program.simulate(console.clone()).expect("sim runs");
+    print!("{}", console.output());
+    println!(
+        "[vm: {} instructions, {} virtual time units, {} threads]",
+        sim.instructions, sim.virtual_elapsed, sim.threads
+    );
+}

@@ -1,0 +1,44 @@
+//! E5/E6/E8 — regenerate the paper's §IV evaluation tables in virtual
+//! time: the primes and TSP workloads at T ∈ {1, 2, 4, 8}, plus the GIL
+//! ablation that motivates the language (§I).
+//!
+//! ```sh
+//! cargo run --release --example speedup_study
+//! ```
+//!
+//! The paper reports ≈5× speedup at 8 cores (62.5 % efficiency) for both
+//! workloads; the virtual-time model reproduces that shape deterministically
+//! (see DESIGN.md §2 for the testbed substitution).
+
+use tetra::experiments::{render_table, simulated_speedup, simulated_speedup_with};
+use tetra::programs;
+use tetra::vm::CostModel;
+
+fn main() {
+    let threads = [1usize, 2, 4, 8];
+
+    let primes = programs::primes(20_000, 64);
+    let rows = simulated_speedup(&primes, &threads).expect("primes sweep");
+    print!(
+        "{}",
+        render_table("E5 — primes workload (paper: ~5x at 8 cores, 62.5% efficiency)", &rows)
+    );
+    println!();
+
+    let tsp = programs::tsp(9);
+    let rows = simulated_speedup(&tsp, &threads).expect("tsp sweep");
+    print!("{}", render_table("E6 — travelling salesman workload (paper: ~5x at 8 cores)", &rows));
+    println!();
+
+    let gil = simulated_speedup_with(
+        &programs::primes(5_000, 64),
+        &threads,
+        CostModel { gil: true, ..CostModel::default() },
+    )
+    .expect("gil sweep");
+    print!(
+        "{}",
+        render_table("E8 — the same primes workload under a simulated GIL (paper §I)", &gil)
+    );
+    println!("\n(the GIL rows stay at ~1x: 'only one thread can actually run at a time')");
+}

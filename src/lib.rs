@@ -1,0 +1,41 @@
+//! Support library for the tetra-rs integration tests and runnable
+//! examples. The real system lives in the `crates/` workspace; see the
+//! [`tetra`] facade crate.
+
+/// Load one of the `.tet` example programs shipped in `examples/tetra/`.
+pub fn example_source(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/tetra")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read example {}: {e}", path.display()))
+}
+
+/// Names of every shipped `.tet` example.
+pub fn example_names() -> Vec<String> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/tetra");
+    let mut names: Vec<String> = std::fs::read_dir(dir)
+        .expect("examples/tetra exists")
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.ends_with(".tet"))
+        .collect();
+    names.sort();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_shipped_examples_compile() {
+        let names = example_names();
+        assert!(names.len() >= 6, "expected the full example set, got {names:?}");
+        for name in names {
+            let src = example_source(&name);
+            tetra::Tetra::compile(&src)
+                .unwrap_or_else(|e| panic!("{name} does not compile:\n{}", e.render()));
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Failure-injection tests: programs that are *supposed* to go wrong must
+//! fail loudly, precisely, and without hanging — the paper's whole
+//! pedagogical point about races and deadlocks (§II, §III).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tetra::runtime::ErrorKind;
+use tetra::{debugger::Debugger, programs, BufferConsole, InterpConfig, Tetra};
+
+fn expect_err(src: &str) -> tetra::RuntimeError {
+    let p = Tetra::compile(src).unwrap_or_else(|e| panic!("{}", e.render()));
+    p.run_captured(&[]).expect_err("program must fail")
+}
+
+#[test]
+fn deadlock_is_detected_quickly_not_hung() {
+    let start = Instant::now();
+    let p = Tetra::compile(programs::DEADLOCK).unwrap();
+    let err = p.run_captured(&[]).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::Deadlock);
+    assert!(err.message.contains("lock `a`") && err.message.contains("lock `b`"), "{err}");
+    assert!(start.elapsed() < Duration::from_secs(10), "detection must not stall");
+}
+
+#[test]
+fn three_way_deadlock_cycle_is_detected() {
+    let src = "\
+def grab(first string, second string):
+    if first == \"a\":
+        lock a:
+            sleep(30)
+            grab2(second)
+    elif first == \"b\":
+        lock b:
+            sleep(30)
+            grab2(second)
+    else:
+        lock c:
+            sleep(30)
+            grab2(second)
+
+def grab2(name string):
+    if name == \"a\":
+        lock a:
+            pass
+    elif name == \"b\":
+        lock b:
+            pass
+    else:
+        lock c:
+            pass
+
+def main():
+    parallel:
+        grab(\"a\", \"b\")
+        grab(\"b\", \"c\")
+        grab(\"c\", \"a\")
+";
+    let err = expect_err(src);
+    assert_eq!(err.kind, ErrorKind::Deadlock);
+}
+
+#[test]
+fn deadlock_on_vm_is_also_detected() {
+    let p = Tetra::compile(programs::DEADLOCK).unwrap();
+    let err = p.simulate(BufferConsole::new()).unwrap_err();
+    assert_eq!(err.kind, ErrorKind::Deadlock);
+}
+
+#[test]
+fn runtime_errors_in_worker_threads_surface_with_their_line() {
+    let src = "\
+def main():
+    a = [1, 2, 3]
+    parallel for i in [0 ... 9]:
+        x = a[i]
+";
+    let err = expect_err(src);
+    assert_eq!(err.kind, ErrorKind::IndexOutOfBounds);
+    assert_eq!(err.line, 4);
+}
+
+#[test]
+fn error_kinds_are_precise() {
+    for (src, kind) in [
+        ("def main():\n    print(1 / 0)\n", ErrorKind::DivideByZero),
+        ("def main():\n    print([1][5])\n", ErrorKind::IndexOutOfBounds),
+        ("def main():\n    d = {1: 1}\n    print(d[9])\n", ErrorKind::KeyNotFound),
+        ("def main():\n    assert false\n", ErrorKind::AssertionFailed),
+        (
+            "def main():\n    x = 9223372036854775807\n    print(x + 1)\n",
+            ErrorKind::Overflow,
+        ),
+        ("def main():\n    lock a:\n        lock a:\n            pass\n", ErrorKind::LockReentry),
+        ("def main():\n    n = int(\"abc\")\n    print(n)\n", ErrorKind::Value),
+        ("def main():\n    n = read_int()\n    print(n)\n", ErrorKind::Io),
+    ] {
+        let err = expect_err(src);
+        assert_eq!(err.kind, kind, "{src}");
+    }
+}
+
+#[test]
+fn racy_counter_usually_loses_updates_and_is_always_flagged() {
+    // The unlocked counter is the canonical first race a student writes.
+    // Whatever count it produces, the lockset detector must flag it.
+    let src = programs::racy_counter(2_000);
+    let p = Tetra::compile(&src).unwrap();
+    let dbg = Debugger::tracer();
+    let console = BufferConsole::new();
+    let interp = p.debug(
+        InterpConfig { worker_threads: 8, ..InterpConfig::default() },
+        console.clone(),
+        dbg.clone(),
+    );
+    interp.run().unwrap();
+    let races = dbg.races();
+    assert!(
+        races.iter().any(|r| r.name == "count"),
+        "the race on `count` must be reported: {races:?}"
+    );
+    // The printed value is whatever the race produced — any int ≤ 2000.
+    let out = console.output();
+    let val: i64 = out.trim().parse().expect("an integer count");
+    assert!(val <= 2000);
+}
+
+#[test]
+fn cancelled_program_reports_cancellation() {
+    let src = "\
+def main():
+    i = 0
+    while i < 100000000:
+        i += 1
+";
+    let p = Tetra::compile(src).unwrap();
+    let dbg = Debugger::new(false);
+    let interp = p.debug(InterpConfig::default(), BufferConsole::new(), dbg.clone());
+    let dbg2 = Arc::clone(&dbg);
+    let h = std::thread::spawn(move || interp.run());
+    std::thread::sleep(Duration::from_millis(30));
+    dbg2.stop();
+    let err = h.join().unwrap().unwrap_err();
+    assert_eq!(err.kind, ErrorKind::Cancelled);
+}
+
+#[test]
+fn background_thread_errors_are_reported_at_exit() {
+    let src = "\
+def main():
+    background:
+        boom()
+    print(\"main done\")
+
+def boom():
+    sleep(5)
+    x = 1 / 0
+";
+    let p = Tetra::compile(src).unwrap();
+    let (r, out) = {
+        let console = BufferConsole::new();
+        let r = p.run_with(InterpConfig::default(), console.clone());
+        (r, console.output())
+    };
+    assert!(out.contains("main done"), "{out}");
+    let err = r.unwrap_err();
+    assert_eq!(err.kind, ErrorKind::DivideByZero);
+}
+
+#[test]
+fn recursion_blowup_is_an_error_on_both_engines() {
+    let src = "def f(x int) int:\n    return f(x + 1)\ndef main():\n    print(f(0))\n";
+    let p = Tetra::compile(src).unwrap();
+    let e1 = p.run_captured(&[]).unwrap_err();
+    assert!(e1.message.contains("call depth"), "{e1}");
+    let e2 = p.simulate(BufferConsole::new()).unwrap_err();
+    assert!(e2.message.contains("call depth"), "{e2}");
+}
+
+#[test]
+fn first_failing_child_error_wins_deterministically_on_vm() {
+    // Two children fail differently; the VM's deterministic schedule must
+    // always report the same one.
+    let src = "\
+def main():
+    parallel:
+        a = 1 / 0
+        b = [1][9]
+";
+    let p = Tetra::compile(src).unwrap();
+    let kinds: Vec<ErrorKind> = (0..3)
+        .map(|_| p.simulate(BufferConsole::new()).unwrap_err().kind)
+        .collect();
+    assert!(kinds.windows(2).all(|w| w[0] == w[1]), "{kinds:?}");
+}

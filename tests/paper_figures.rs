@@ -1,0 +1,96 @@
+//! E1–E3: the paper's three code figures (§II), verbatim, executed under
+//! both engines with outputs checked against what the paper's prose
+//! promises.
+
+use tetra::{programs, Tetra};
+
+#[test]
+fn e1_figure1_factorial_sequential() {
+    let p = Tetra::compile(programs::FIG1_FACTORIAL).unwrap();
+    // "a main function which handles I/O": prompt, read n, print n! .
+    let out = p.run_both(&["5"]).unwrap();
+    assert_eq!(out, "enter n: \n5! = 120\n");
+    let out = p.run_both(&["0"]).unwrap();
+    assert_eq!(out, "enter n: \n0! = 1\n");
+    let out = p.run_both(&["12"]).unwrap();
+    assert_eq!(out, "enter n: \n12! = 479001600\n");
+}
+
+#[test]
+fn e2_figure2_parallel_sum_is_5050() {
+    // "calculates the sum of the first 100 natural numbers in two threads"
+    let p = Tetra::compile(programs::FIG2_PARALLEL_SUM).unwrap();
+    assert_eq!(p.run_both(&[]).unwrap(), "5050\n");
+}
+
+#[test]
+fn e2_parallel_block_actually_uses_two_threads() {
+    let p = Tetra::compile(programs::FIG2_PARALLEL_SUM).unwrap();
+    let (_, stats) = p.run_captured(&[]).unwrap();
+    assert_eq!(stats.threads_spawned, 3, "main + the two parallel statements");
+}
+
+#[test]
+fn e3_figure3_parallel_max_is_96() {
+    let p = Tetra::compile(programs::FIG3_PARALLEL_MAX).unwrap();
+    assert_eq!(p.run_both(&[]).unwrap(), "96\n");
+}
+
+#[test]
+fn e3_lock_is_exercised() {
+    let p = Tetra::compile(programs::FIG3_PARALLEL_MAX).unwrap();
+    let (_, stats) = p.run_captured(&[]).unwrap();
+    assert!(stats.lock_acquisitions.0 >= 1, "the lock block must be entered");
+}
+
+#[test]
+fn e3_is_correct_for_adversarial_inputs() {
+    // The double-checked lock must find the max wherever it hides.
+    for nums in [
+        "[5]",
+        "[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]",
+        "[10, 9, 8, 7, 6, 5, 4, 3, 2, 1]",
+        "[7, 7, 7, 7]",
+        "[0, 1000000, 3]",
+    ] {
+        let src = format!(
+            "\
+def max(nums [int]) int:
+    largest = 0
+    parallel for num in nums:
+        if num > largest:
+            lock largest:
+                if num > largest:
+                    largest = num
+    return largest
+
+def main():
+    print(max({nums}))
+"
+        );
+        let p = Tetra::compile(&src).unwrap();
+        let expected: i64 = nums
+            .trim_matches(['[', ']'])
+            .split(',')
+            .map(|s| s.trim().parse::<i64>().unwrap())
+            .max()
+            .unwrap();
+        assert_eq!(p.run_both(&[]).unwrap(), format!("{expected}\n"), "input {nums}");
+    }
+}
+
+#[test]
+fn figure_sources_round_trip_through_the_pretty_printer() {
+    for src in [programs::FIG1_FACTORIAL, programs::FIG2_PARALLEL_SUM, programs::FIG3_PARALLEL_MAX]
+    {
+        let parsed = tetra::parser::parse(src).unwrap();
+        let printed = tetra::ast::pretty::to_source(&parsed);
+        let reparsed = tetra::parser::parse(&printed).unwrap();
+        assert_eq!(printed, tetra::ast::pretty::to_source(&reparsed));
+        // And the pretty-printed program still runs identically.
+        let p = Tetra::compile(&printed).unwrap();
+        if !src.contains("read_int") {
+            p.run_both(&[]).unwrap();
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Table-driven coverage of every builtin, from Tetra source, under BOTH
+//! engines. Each case is a (snippet body, expected output) pair; the body
+//! runs inside `main()`.
+
+use tetra::Tetra;
+
+fn run_snippet(body: &str) -> String {
+    let indented: String = body
+        .lines()
+        .map(|l| format!("    {l}\n"))
+        .collect();
+    let src = format!("def main():\n{indented}");
+    Tetra::compile(&src)
+        .unwrap_or_else(|e| panic!("compile:\n{}\n--- source ---\n{src}", e.render()))
+        .run_both(&[])
+        .unwrap_or_else(|e| panic!("{e}\n--- source ---\n{src}"))
+}
+
+#[track_caller]
+fn case(body: &str, expected: &str) {
+    assert_eq!(run_snippet(body), expected, "snippet: {body}");
+}
+
+#[test]
+fn core_and_len() {
+    case("print(len(\"héllo\"))", "5\n");
+    case("print(len([1, 2, 3]))", "3\n");
+    case("print(len({1: 1, 2: 2}))", "2\n");
+    case("print(len((1, 2, 3, 4)))", "4\n");
+}
+
+#[test]
+fn math_builtins_behave() {
+    case("print(abs(-7), \" \", abs(2.5))", "7 2.5\n");
+    case("print(min(3, 9), \" \", max(3, 9))", "3 9\n");
+    case("print(min(1.5, 1), \" \", max(1.5, 1))", "1.0 1.5\n");
+    case("print(sqrt(81.0))", "9.0\n");
+    case("print(pow(2, 16), \" \", pow(4.0, 0.5))", "65536 2.0\n");
+    case("print(floor(3.9), \" \", ceil(3.1), \" \", round(3.5))", "3 4 4\n");
+    case("print(floor(-1.5), \" \", ceil(-1.5))", "-2 -1\n");
+    case("print(round(sin(0.0)), \" \", round(cos(0.0)))", "0 1\n");
+    case("print(round(exp(0.0)), \" \", round(log(exp(1.0))))", "1 1\n");
+    case("print(round(tan(0.0)))", "0\n");
+}
+
+#[test]
+fn conversions_behave() {
+    case("print(str(42) + \"!\")", "42!\n");
+    case("print(str(2.5), \" \", str(true), \" \", str([1, 2]))", "2.5 true [1, 2]\n");
+    case("print(int(\"123\") + 1)", "124\n");
+    case("print(int(9.99), \" \", int(true), \" \", int(false))", "9 1 0\n");
+    case("print(real(\"2.5\") * 2, \" \", real(3))", "5.0 3.0\n");
+}
+
+#[test]
+fn string_builtins_behave() {
+    case("print(upper(\"abc\"), lower(\"DEF\"))", "ABCdef\n");
+    case("print(trim(\"  pad  \") + \"|\")", "pad|\n");
+    case("print(substr(\"abcdef\", 1, 3))", "bcd\n");
+    case("print(find(\"hello\", \"ll\"), \" \", find(\"hello\", \"z\"))", "2 -1\n");
+    case("print(split(\"a:b:c\", \":\"))", "[\"a\", \"b\", \"c\"]\n");
+    case("print(split(\"abc\", \"\"))", "[\"a\", \"b\", \"c\"]\n");
+    case("print(join(split(\"x-y\", \"-\"), \"+\"))", "x+y\n");
+    case("print(replace(\"banana\", \"na\", \"NA\"))", "baNANA\n");
+    case(
+        "print(starts_with(\"tetra\", \"tet\"), \" \", ends_with(\"tetra\", \"ra\"))",
+        "true true\n",
+    );
+    case("print(contains(\"tetra\", \"etr\"))", "true\n");
+}
+
+#[test]
+fn array_builtins_behave() {
+    case("a = [2, 3]\nappend(a, 4)\ninsert(a, 0, 1)\nprint(a)", "[1, 2, 3, 4]\n");
+    case("a = [1, 2, 3]\nprint(pop(a), \" \", a)", "3 [1, 2]\n");
+    case("a = [9, 8, 7]\nprint(remove_at(a, 1), \" \", a)", "8 [9, 7]\n");
+    case("a = [1, 2]\nclear(a)\nprint(a, \" \", len(a))", "[] 0\n");
+    case("a = [3, 1, 2]\nsort(a)\nprint(a)", "[1, 2, 3]\n");
+    case("a = [1, 2, 3]\nreverse(a)\nprint(a)", "[3, 2, 1]\n");
+    case("a = [5, 6, 7]\nprint(index_of(a, 6), \" \", index_of(a, 9))", "1 -1\n");
+    case("a = [1, 2]\nprint(contains(a, 2), \" \", contains(a, 5))", "true false\n");
+    case("a = [1, 2]\nb = copy(a)\nappend(b, 3)\nprint(a, \" \", b)", "[1, 2] [1, 2, 3]\n");
+    case("print(fill(3, \"x\"))", "[\"x\", \"x\", \"x\"]\n");
+}
+
+#[test]
+fn aggregate_builtins_behave() {
+    case("print(sum([1 ... 10]))", "55\n");
+    case("print(sum([1.5, 2.5, 1]))", "5.0\n");
+    case("print(min_of([5, 2, 9]), \" \", max_of([5, 2, 9]))", "2 9\n");
+    case("print(min_of([\"pear\", \"apple\"]))", "apple\n");
+    case("print(max_of([2.5, 7.0, 1.0]))", "7.0\n");
+    // Aggregates inside try/catch: empty array errors are catchable.
+    case(
+        "a = [1]\npop(a)\ntry:\n    print(min_of(a))\ncatch err:\n    print(\"empty: \", err)",
+        "empty: min_of() of an empty array\n",
+    );
+}
+
+#[test]
+fn user_sum_still_shadows_builtin_sum() {
+    // Fig. II's guarantee: the user's `sum` wins over the builtin.
+    let src = "\
+def sum(nums [int]) int:
+    return 777
+
+def main():
+    print(sum([1, 2, 3]))
+";
+    let out = Tetra::compile(src).unwrap().run_both(&[]).unwrap();
+    assert_eq!(out, "777\n");
+}
+
+#[test]
+fn dict_builtins_behave() {
+    case(
+        "d = {\"b\": 2, \"a\": 1}\nprint(keys(d), \" \", values(d))",
+        "[\"a\", \"b\"] [1, 2]\n",
+    );
+    case(
+        "d = {1: \"x\"}\nprint(has_key(d, 1), \" \", has_key(d, 2))",
+        "true false\n",
+    );
+    case(
+        "d = {1: \"x\", 2: \"y\"}\nprint(remove_key(d, 1), \" \", len(d), \" \", remove_key(d, 1))",
+        "true 1 false\n",
+    );
+}
+
+#[test]
+fn runtime_service_builtins_behave() {
+    case("gc()\nprint(\"collected\")", "collected\n");
+    case("t = time_ms()\nprint(t >= 0)", "true\n");
+    // thread_id in main: 0 under the interpreter; the VM reports 0 too.
+    case("print(thread_id())", "0\n");
+}
+
+#[test]
+fn random_builtins_are_in_range() {
+    // Non-deterministic: assert properties, engine by engine.
+    let src = "\
+def main():
+    r = random()
+    assert r >= 0.0 and r < 1.0, \"random out of range\"
+    n = rand_int(5, 10)
+    assert n >= 5 and n <= 10, \"rand_int out of range\"
+    print(\"ok\")
+";
+    let p = Tetra::compile(src).unwrap();
+    let (out, _) = p.run_captured(&[]).unwrap();
+    assert_eq!(out, "ok\n");
+    let console = tetra::BufferConsole::new();
+    p.simulate(console.clone()).unwrap();
+    assert_eq!(console.output(), "ok\n");
+}
+
+#[test]
+fn read_builtins_round_trip() {
+    let src = "\
+def main():
+    i = read_int()
+    r = read_real()
+    s = read_string()
+    b = read_bool()
+    print(i, \" \", r, \" \", s, \" \", b)
+";
+    let p = Tetra::compile(src).unwrap();
+    let input = &["7", "2.5", "words here", "true"];
+    let (out, _) = p.run_captured(input).unwrap();
+    assert_eq!(out, "7 2.5 words here true\n");
+    let console = tetra::BufferConsole::with_input(input);
+    p.simulate(console.clone()).unwrap();
+    assert_eq!(console.output(), out);
+}
+
+#[test]
+fn aggregates_compose_with_parallel_for() {
+    // The idiomatic reduction: per-worker partials, then sum().
+    let src = "\
+def main():
+    partials = fill(4, 0)
+    parallel for w in [0 ... 3]:
+        base = w * 250
+        total = 0
+        i = 1
+        while i <= 250:
+            total += base + i
+            i += 1
+        partials[w] = total
+    print(sum(partials))
+";
+    let out = Tetra::compile(src).unwrap().run_both(&[]).unwrap();
+    // sum(1..1000) + 250*(0+250+500+750)
+    let expected: i64 = (1..=250).map(|i| [0, 250, 500, 750].iter().map(|b| b + i).sum::<i64>()).sum();
+    assert_eq!(out, format!("{expected}\n"));
+}

@@ -1,0 +1,339 @@
+//! The `try:` / `catch err:` error-handling extension (paper §VI future
+//! work), tested across the whole stack and both engines.
+
+use tetra::runtime::ErrorKind;
+use tetra::{BufferConsole, Tetra};
+
+fn run_both(src: &str) -> String {
+    Tetra::compile(src)
+        .unwrap_or_else(|e| panic!("compile:\n{}", e.render()))
+        .run_both(&[])
+        .unwrap_or_else(|e| panic!("{e}\n--- source ---\n{src}"))
+}
+
+#[test]
+fn catches_divide_by_zero() {
+    let src = "\
+def main():
+    x = 0
+    try:
+        y = 10 / x
+        print(\"not reached\")
+    catch err:
+        print(\"caught: \", err)
+    print(\"after\")
+";
+    let out = run_both(src);
+    assert!(out.contains("caught: 10 / 0"), "{out}");
+    assert!(out.contains("after"), "{out}");
+    assert!(!out.contains("not reached"), "{out}");
+}
+
+#[test]
+fn catches_index_key_and_conversion_errors() {
+    let src = "\
+def attempt(which int) string:
+    try:
+        if which == 0:
+            a = [1]
+            print(a[9])
+        elif which == 1:
+            d = {1: 1}
+            print(d[2])
+        else:
+            n = int(\"nope\")
+            print(n)
+        return \"no error\"
+    catch err:
+        return err
+
+def main():
+    print(attempt(0))
+    print(attempt(1))
+    print(attempt(2))
+";
+    let out = run_both(src);
+    assert!(out.contains("out of bounds"), "{out}");
+    assert!(out.contains("not found"), "{out}");
+    assert!(out.contains("cannot parse"), "{out}");
+}
+
+#[test]
+fn catches_failed_assert_with_message() {
+    let src = "\
+def main():
+    try:
+        assert 1 > 2, \"one is not greater\"
+    catch err:
+        print(err)
+";
+    assert_eq!(run_both(src), "one is not greater\n");
+}
+
+#[test]
+fn uncaught_errors_still_propagate() {
+    let src = "\
+def main():
+    try:
+        x = 1 / 0
+    catch err:
+        y = [1][5]
+";
+    let p = Tetra::compile(src).unwrap();
+    let e = p.run_captured(&[]).unwrap_err();
+    assert_eq!(e.kind, ErrorKind::IndexOutOfBounds, "handler errors are not self-caught");
+    let e = p.simulate(BufferConsole::new()).unwrap_err();
+    assert_eq!(e.kind, ErrorKind::IndexOutOfBounds);
+}
+
+#[test]
+fn nested_try_unwinds_to_innermost() {
+    let src = "\
+def main():
+    try:
+        try:
+            x = 1 / 0
+        catch inner:
+            print(\"inner: \", inner)
+            y = [1][7]
+    catch outer:
+        print(\"outer: \", outer)
+";
+    let out = run_both(src);
+    assert!(out.contains("inner: 1 / 0"), "{out}");
+    assert!(out.contains("outer: index 7"), "{out}");
+}
+
+#[test]
+fn catches_errors_from_called_functions() {
+    let src = "\
+def deep(n int) int:
+    if n == 0:
+        return 1 / 0
+    return deep(n - 1)
+
+def main():
+    try:
+        print(deep(5))
+    catch err:
+        print(\"caught from depth: \", err)
+";
+    let out = run_both(src);
+    assert!(out.contains("caught from depth"), "{out}");
+}
+
+#[test]
+fn catches_child_thread_error_at_the_join() {
+    let src = "\
+def main():
+    try:
+        parallel:
+            print(1 / 0)
+            print(\"sibling\")
+    catch err:
+        print(\"joined error: \", err)
+    print(\"continues\")
+";
+    let out = run_both(src);
+    assert!(out.contains("joined error: "), "{out}");
+    assert!(out.contains("continues"), "{out}");
+}
+
+#[test]
+fn catches_parallel_for_worker_error() {
+    let src = "\
+def main():
+    a = [1, 2, 3]
+    try:
+        parallel for i in [0 ... 9]:
+            x = a[i]
+    catch err:
+        print(\"worker failed: \", err)
+";
+    let out = run_both(src);
+    assert!(out.contains("worker failed: "), "{out}");
+}
+
+#[test]
+fn locks_are_released_when_unwinding() {
+    // The error escapes a lock block inside the try; afterwards the same
+    // lock must be acquirable again.
+    let src = "\
+def main():
+    try:
+        lock m:
+            x = 1 / 0
+    catch err:
+        print(\"caught\")
+    lock m:
+        print(\"reacquired\")
+";
+    let out = run_both(src);
+    assert_eq!(out, "caught\nreacquired\n");
+}
+
+#[test]
+fn deadlock_is_catchable() {
+    let src = "\
+def left():
+    lock a:
+        sleep(20)
+        lock b:
+            pass
+
+def right():
+    lock b:
+        sleep(20)
+        lock a:
+            pass
+
+def main():
+    try:
+        parallel:
+            left()
+            right()
+    catch err:
+        print(\"recovered from: deadlock\")
+    print(\"program continues\")
+";
+    // Both engines must catch it (the interpreter detects at acquire; the
+    // VM detects when nothing is runnable).
+    let p = Tetra::compile(src).unwrap();
+    let (out, _) = p.run_captured(&[]).unwrap();
+    assert!(out.contains("recovered from: deadlock"), "interp: {out}");
+    assert!(out.contains("program continues"), "interp: {out}");
+    let console = BufferConsole::new();
+    p.simulate(console.clone()).unwrap();
+    let out = console.output();
+    assert!(out.contains("recovered from: deadlock"), "vm: {out}");
+}
+
+#[test]
+fn break_out_of_try_inside_loop_is_sound() {
+    // `break` jumps out of the try body structurally; a later error in the
+    // same function must NOT land in the stale handler.
+    let src = "\
+def main():
+    i = 0
+    while i < 3:
+        try:
+            i += 1
+            if i == 2:
+                break
+        catch err:
+            print(\"stale handler: \", err)
+    print(\"i = \", i)
+    x = 0
+    y = 10 / x
+";
+    let p = Tetra::compile(src).unwrap();
+    let e1 = p.run_captured(&[]).unwrap_err();
+    assert_eq!(e1.kind, ErrorKind::DivideByZero, "interp must not catch via stale handler");
+    let console = BufferConsole::new();
+    let e2 = p.simulate(console.clone()).unwrap_err();
+    assert_eq!(e2.kind, ErrorKind::DivideByZero, "vm must not catch via stale handler");
+    assert!(console.output().contains("i = 2"), "{}", console.output());
+}
+
+#[test]
+fn return_inside_try_is_sound() {
+    let src = "\
+def f() int:
+    try:
+        return 42
+    catch err:
+        return -1
+
+def main():
+    print(f())
+    x = 0
+    try:
+        y = 1 / x
+    catch err:
+        print(\"second try still works\")
+";
+    let out = run_both(src);
+    assert!(out.contains("42"), "{out}");
+    assert!(out.contains("second try still works"), "{out}");
+}
+
+#[test]
+fn catch_variable_is_a_string() {
+    let src = "\
+def main():
+    try:
+        x = 1 / 0
+    catch err:
+        print(upper(err), \" / \", len(err) > 0)
+";
+    let out = run_both(src);
+    assert!(out.contains("1 / 0"), "{out}");
+    assert!(out.contains("true"), "{out}");
+}
+
+#[test]
+fn type_errors_for_try() {
+    // Catch variable conflicts with an existing non-string variable.
+    let err = Tetra::compile(
+        "def main():\n    e = 5\n    try:\n        pass\n    catch e:\n        pass\n",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("already has type int"), "{err}");
+    // try without catch.
+    let err =
+        Tetra::compile("def main():\n    try:\n        pass\n    print(1)\n").unwrap_err();
+    assert!(err.to_string().contains("catch"), "{err}");
+    // catch alone.
+    let err = Tetra::compile("def main():\n    catch e:\n        pass\n").unwrap_err();
+    assert!(err.to_string().contains("without a preceding"), "{err}");
+}
+
+#[test]
+fn try_returns_count_for_definite_return() {
+    // Both arms return → function definitely returns.
+    assert!(Tetra::compile(
+        "def f() int:\n    try:\n        return 1\n    catch e:\n        return 2\ndef main():\n    f()\n"
+    )
+    .is_ok());
+    // Handler missing a return → not definite.
+    let err = Tetra::compile(
+        "def f() int:\n    try:\n        return 1\n    catch e:\n        pass\ndef main():\n    f()\n",
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("without returning"), "{err}");
+}
+
+#[test]
+fn try_pretty_prints_and_round_trips() {
+    let src = "\
+def main():
+    try:
+        x = 1 / 0
+    catch err:
+        print(err)
+";
+    let parsed = tetra::parser::parse(src).unwrap();
+    let printed = tetra::ast::pretty::to_source(&parsed);
+    assert!(printed.contains("try:"), "{printed}");
+    assert!(printed.contains("catch err:"), "{printed}");
+    let reparsed = tetra::parser::parse(&printed).unwrap();
+    assert_eq!(printed, tetra::ast::pretty::to_source(&reparsed));
+}
+
+#[test]
+fn retry_loop_pattern_works() {
+    // The classic teaching use: retry until input parses.
+    let src = "\
+def main():
+    attempts = [\"abc\", \"-\", \"17\"]
+    value = 0
+    for raw in attempts:
+        try:
+            value = int(raw)
+        catch err:
+            print(\"bad input: \", raw)
+    print(\"value = \", value)
+";
+    let out = run_both(src);
+    assert_eq!(out, "bad input: abc\nbad input: -\nvalue = 17\n");
+}
