@@ -223,12 +223,7 @@ pub enum StmtKind {
     /// `target op value`.
     Assign { target: Target, op: AssignOp, value: Expr },
     /// `if` / `elif` / `else` chain.
-    If {
-        cond: Expr,
-        then: Block,
-        elifs: Vec<(Expr, Block)>,
-        els: Option<Block>,
-    },
+    If { cond: Expr, then: Block, elifs: Vec<(Expr, Block)>, els: Option<Block> },
     /// `while cond:` loop.
     While { cond: Expr, body: Block },
     /// `for var in seq:` loop.
@@ -332,8 +327,10 @@ mod tests {
             BinOp::Div,
             BinOp::Mod,
         ] {
-            let classes =
-                [op.is_comparison(), op.is_arithmetic(), op.is_logical()].iter().filter(|b| **b).count();
+            let classes = [op.is_comparison(), op.is_arithmetic(), op.is_logical()]
+                .iter()
+                .filter(|b| **b)
+                .count();
             assert_eq!(classes, 1, "{op:?} must be in exactly one class");
         }
     }

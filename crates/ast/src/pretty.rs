@@ -307,11 +307,7 @@ pub fn tree(program: &Program) -> String {
             out,
             "FuncDef {} ({}) -> {}",
             f.name,
-            f.params
-                .iter()
-                .map(|p| format!("{} {}", p.name, p.ty))
-                .collect::<Vec<_>>()
-                .join(", "),
+            f.params.iter().map(|p| format!("{} {}", p.name, p.ty)).collect::<Vec<_>>().join(", "),
             f.ret
         )
         .unwrap();

@@ -99,10 +99,7 @@ mod tests {
         assert_eq!(Type::array(Type::Int).to_string(), "[int]");
         assert_eq!(Type::array(Type::array(Type::Real)).to_string(), "[[real]]");
         assert_eq!(Type::dict(Type::Str, Type::Int).to_string(), "{string: int}");
-        assert_eq!(
-            Type::Tuple(vec![Type::Int, Type::Str]).to_string(),
-            "(int, string)"
-        );
+        assert_eq!(Type::Tuple(vec![Type::Int, Type::Str]).to_string(), "(int, string)");
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub fn walk_stmt<V: Visitor + ?Sized>(v: &mut V, s: &Stmt) {
             v.visit_expr(iter);
             walk_block(v, body);
         }
-        StmtKind::Parallel { body } | StmtKind::Background { body } | StmtKind::Lock { body, .. } => {
+        StmtKind::Parallel { body }
+        | StmtKind::Background { body }
+        | StmtKind::Lock { body, .. } => {
             walk_block(v, body);
         }
         StmtKind::Return(Some(e)) => v.visit_expr(e),
@@ -183,14 +185,10 @@ mod tests {
     fn stats_count_nested_constructs() {
         // parallel: { lock a: { pass }, lock a: { pass } }
         let lock = |name: &str| {
-            stmt(StmtKind::Lock {
-                name: name.into(),
-                body: Block::new(vec![stmt(StmtKind::Pass)]),
-            })
+            stmt(StmtKind::Lock { name: name.into(), body: Block::new(vec![stmt(StmtKind::Pass)]) })
         };
-        let par = stmt(StmtKind::Parallel {
-            body: Block::new(vec![lock("a"), lock("a"), lock("b")]),
-        });
+        let par =
+            stmt(StmtKind::Parallel { body: Block::new(vec![lock("a"), lock("a"), lock("b")]) });
         let f = FuncDef {
             name: "main".into(),
             params: vec![],

@@ -15,16 +15,14 @@ use tetra_bench::compile;
 
 fn run_interp(p: &Tetra) {
     let console = BufferConsole::new();
-    p.run_with(InterpConfig { worker_threads: 4, ..InterpConfig::default() }, console)
-        .unwrap();
+    p.run_with(InterpConfig { worker_threads: 4, ..InterpConfig::default() }, console).unwrap();
 }
 
 fn bench_spawn_join(c: &mut Criterion) {
     // N sequential parallel blocks of one trivial statement each: the
     // measured time is dominated by thread create + join.
-    let spawn = compile(
-        "def main():\n    for i in [1 ... 20]:\n        parallel:\n            pass\n",
-    );
+    let spawn =
+        compile("def main():\n    for i in [1 ... 20]:\n        parallel:\n            pass\n");
     let no_spawn = compile("def main():\n    for i in [1 ... 20]:\n        pass\n");
     let mut group = c.benchmark_group("e7_spawn_join");
     group.sample_size(10);

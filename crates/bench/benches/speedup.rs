@@ -18,8 +18,7 @@ use tetra_bench::compile;
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn print_tables() {
-    let rows = simulated_speedup(&programs::primes(20_000, 64), &THREADS)
-        .expect("primes sweep");
+    let rows = simulated_speedup(&programs::primes(20_000, 64), &THREADS).expect("primes sweep");
     eprintln!();
     eprint!(
         "{}",
@@ -81,10 +80,8 @@ fn bench_interp_wallclock(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             b.iter(|| {
                 let console = BufferConsole::new();
-                let cfg = tetra::InterpConfig {
-                    worker_threads: t,
-                    ..tetra::InterpConfig::default()
-                };
+                let cfg =
+                    tetra::InterpConfig { worker_threads: t, ..tetra::InterpConfig::default() };
                 program.run_with(cfg, console).unwrap()
             });
         });

@@ -9,12 +9,15 @@ tetra — the Tetra educational parallel programming language
 
 USAGE:
   tetra run <file.tet> [--threads N] [--gil] [--gc-stress] [--gc-stats] [--no-detect]
+                       [--trace out.json] [--metrics]
+  tetra profile <file.tet> [--threads N]
+                                    run with tracing and print a profile report
   tetra check <file.tet>            parse + type-check only
   tetra tokens <file.tet>           dump the token stream
   tetra ast <file.tet>              dump the AST
   tetra pretty <file.tet>           re-print canonical source
   tetra disasm <file.tet> [--fold]  compile to bytecode and disassemble
-  tetra sim <file.tet> [--threads N] [--gil]
+  tetra sim <file.tet> [--threads N] [--gil] [--trace out.json] [--metrics]
                                     deterministic virtual-time run (VM)
   tetra trace <file.tet> [--threads N]
                                     run with tracing: thread timeline + data races
@@ -35,6 +38,8 @@ struct Opts {
     gc_stats: bool,
     no_detect: bool,
     fold: bool,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -48,6 +53,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         gc_stats: false,
         no_detect: false,
         fold: false,
+        trace: None,
+        metrics: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -69,6 +76,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let v = it.next().ok_or("--scale needs a value")?;
                 o.scale = Some(v.parse::<i64>().map_err(|e| e.to_string())?);
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs an output path")?;
+                o.trace = Some(v.clone());
+            }
+            "--metrics" => o.metrics = true,
             "--gil" => o.gil = true,
             "--gc-stress" => o.gc_stress = true,
             "--gc-stats" => o.gc_stats = true,
@@ -102,6 +114,7 @@ pub fn dispatch(args: &[String]) -> Result<(), String> {
     let rest = &args[1..];
     match cmd.as_str() {
         "run" => run(rest),
+        "profile" => profile(rest),
         "check" => check(rest),
         "tokens" => tokens(rest),
         "ast" => ast(rest),
@@ -137,14 +150,47 @@ fn interp_config(o: &Opts) -> InterpConfig {
 fn run(args: &[String]) -> Result<(), String> {
     let o = parse_opts(args)?;
     let (program, _src) = compile_file(need_file(&o)?)?;
-    let stats = program
-        .run_with(interp_config(&o), Arc::new(StdConsole))
-        .map_err(|e| e.to_string())?;
+    let observing = o.trace.is_some() || o.metrics;
+    if observing {
+        tetra::obs::session::begin(tetra::obs::session::Config {
+            trace: o.trace.is_some(),
+            metrics: o.metrics,
+            ..Default::default()
+        });
+    }
+    let result = program.run_with(interp_config(&o), Arc::new(StdConsole));
+    if observing {
+        let trace = tetra::obs::session::end();
+        if let Some(path) = &o.trace {
+            std::fs::write(path, tetra::obs::chrome::export(&trace))
+                .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+            eprintln!(
+                "trace: {} events from {} thread(s) written to {path}{}",
+                trace.events.len(),
+                trace.thread_names().len(),
+                if trace.dropped_events > 0 {
+                    format!(" ({} dropped: ring full)", trace.dropped_events)
+                } else {
+                    String::new()
+                },
+            );
+        }
+        if o.metrics {
+            eprint!("{}", trace.metrics.render());
+        }
+    }
+    let stats = result.map_err(|e| e.to_string())?;
     if o.gc_stats {
         eprintln!(
             "gc: {} allocations, {} collections, {} objects freed, {} live",
-            stats.gc.allocations, stats.gc.collections, stats.gc.objects_freed,
+            stats.gc.allocations,
+            stats.gc.collections,
+            stats.gc.objects_freed,
             stats.gc.live_objects
+        );
+        eprintln!(
+            "gc pauses: {} us total, {} us max",
+            stats.gc.pause_total_us, stats.gc.pause_max_us
         );
         eprintln!(
             "threads: {} spawned; locks: {} acquisitions ({} contended)",
@@ -152,6 +198,21 @@ fn run(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn profile(args: &[String]) -> Result<(), String> {
+    let o = parse_opts(args)?;
+    let path = need_file(&o)?;
+    let (program, src) = compile_file(path)?;
+    tetra::obs::session::begin(tetra::obs::session::Config::default());
+    let result = program.run_with(interp_config(&o), Arc::new(StdConsole));
+    let trace = tetra::obs::session::end();
+    // Report even when the program failed: the trace up to the error is
+    // usually exactly what the user wants to see.
+    let source_lines: Vec<String> = src.lines().map(str::to_string).collect();
+    eprintln!();
+    eprint!("{}", tetra::obs::profile::report(&trace, Some(&source_lines)));
+    result.map(|_| ()).map_err(|e| e.to_string())
 }
 
 fn check(args: &[String]) -> Result<(), String> {
@@ -226,8 +287,31 @@ fn sim(args: &[String]) -> Result<(), String> {
         cost: tetra::vm::CostModel { gil: o.gil, ..Default::default() },
         ..VmConfig::default()
     };
-    let stats =
-        program.simulate_with(cfg, Arc::new(StdConsole)).map_err(|e| e.to_string())?;
+    let observing = o.trace.is_some() || o.metrics;
+    if observing {
+        tetra::obs::session::begin(tetra::obs::session::Config {
+            trace: o.trace.is_some(),
+            metrics: o.metrics,
+            ..Default::default()
+        });
+    }
+    let result = program.simulate_with(cfg, Arc::new(StdConsole));
+    if observing {
+        let trace = tetra::obs::session::end();
+        if let Some(path) = &o.trace {
+            std::fs::write(path, tetra::obs::chrome::export(&trace))
+                .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
+            eprintln!(
+                "trace: {} events from {} thread(s) written to {path}",
+                trace.events.len(),
+                trace.thread_names().len(),
+            );
+        }
+        if o.metrics {
+            eprint!("{}", trace.metrics.render());
+        }
+    }
+    let stats = result.map_err(|e| e.to_string())?;
     eprintln!(
         "sim: {} virtual time units, {} instructions, {} thread(s), {} contended lock waits",
         stats.virtual_elapsed, stats.instructions, stats.threads, stats.lock_contentions

@@ -6,6 +6,8 @@
 //!
 //! ```text
 //! tetra run <file.tet> [--threads N] [--gil] [--gc-stress] [--gc-stats]
+//!                      [--trace out.json] [--metrics]
+//! tetra profile <file.tet>                     # per-line/lock/GC profile
 //! tetra check <file.tet>
 //! tetra tokens <file.tet>
 //! tetra ast <file.tet>

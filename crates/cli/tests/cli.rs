@@ -14,18 +14,15 @@ fn examples_dir() -> std::path::PathBuf {
 }
 
 fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
-    let path = std::env::temp_dir().join(format!("tetra-cli-test-{name}-{}.tet", std::process::id()));
+    let path =
+        std::env::temp_dir().join(format!("tetra-cli-test-{name}-{}.tet", std::process::id()));
     std::fs::write(&path, contents).unwrap();
     path
 }
 
 #[test]
 fn run_executes_a_program() {
-    let out = tetra()
-        .arg("run")
-        .arg(examples_dir().join("parallel_sum.tet"))
-        .output()
-        .unwrap();
+    let out = tetra().arg("run").arg(examples_dir().join("parallel_sum.tet")).output().unwrap();
     assert!(out.status.success());
     assert_eq!(String::from_utf8_lossy(&out.stdout), "5050\n");
 }
@@ -57,11 +54,7 @@ fn run_reports_runtime_errors_with_nonzero_exit() {
 
 #[test]
 fn check_reports_parallel_inventory() {
-    let out = tetra()
-        .arg("check")
-        .arg(examples_dir().join("parallel_max.tet"))
-        .output()
-        .unwrap();
+    let out = tetra().arg("check").arg(examples_dir().join("parallel_max.tet")).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("1 parallel for"), "{text}");
@@ -123,21 +116,15 @@ fn trace_reports_races() {
 
 #[test]
 fn trace_is_clean_for_locked_counter() {
-    let out = tetra()
-        .arg("trace")
-        .arg(examples_dir().join("counter.tet"))
-        .output()
-        .unwrap();
+    let out = tetra().arg("trace").arg(examples_dir().join("counter.tet")).output().unwrap();
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("no data races detected"), "{text}");
 }
 
 #[test]
 fn bench_prints_speedup_table() {
-    let out = tetra()
-        .args(["bench", "primes", "--scale", "800", "--threads", "1,2,4"])
-        .output()
-        .unwrap();
+    let out =
+        tetra().args(["bench", "primes", "--scale", "800", "--threads", "1,2,4"]).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("speedup"), "{text}");
@@ -146,11 +133,7 @@ fn bench_prints_speedup_table() {
 
 #[test]
 fn deadlock_detection_from_cli() {
-    let out = tetra()
-        .arg("run")
-        .arg(examples_dir().join("deadlock.tet"))
-        .output()
-        .unwrap();
+    let out = tetra().arg("run").arg(examples_dir().join("deadlock.tet")).output().unwrap();
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("deadlock"), "{err}");
@@ -160,10 +143,8 @@ fn deadlock_detection_from_cli() {
 fn scripted_debugger_session() {
     // Drive `tetra debug` through a full session: breakpoint, run,
     // inspect, step, resume — all over pipes.
-    let path = write_temp(
-        "dbg",
-        "def main():\n    x = 1\n    y = x + 1\n    z = y * 2\n    print(z)\n",
-    );
+    let path =
+        write_temp("dbg", "def main():\n    x = 1\n    y = x + 1\n    z = y * 2\n    print(z)\n");
     let mut child = tetra()
         .arg("debug")
         .arg(&path)

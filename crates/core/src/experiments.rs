@@ -50,10 +50,7 @@ fn rows_from(elapsed: Vec<(usize, u64)>) -> Vec<SpeedupRow> {
 
 /// Virtual-time speedup sweep: run `src` under the deterministic scheduler
 /// with each worker count (the first entry is the baseline, normally 1).
-pub fn simulated_speedup(
-    src: &str,
-    threads: &[usize],
-) -> Result<Vec<SpeedupRow>, ExperimentError> {
+pub fn simulated_speedup(src: &str, threads: &[usize]) -> Result<Vec<SpeedupRow>, ExperimentError> {
     simulated_speedup_with(src, threads, CostModel::default())
 }
 
@@ -76,18 +73,12 @@ pub fn simulated_speedup_with(
 }
 
 /// Wall-clock speedup sweep on the real-thread interpreter.
-pub fn wallclock_speedup(
-    src: &str,
-    threads: &[usize],
-) -> Result<Vec<SpeedupRow>, ExperimentError> {
+pub fn wallclock_speedup(src: &str, threads: &[usize]) -> Result<Vec<SpeedupRow>, ExperimentError> {
     let program = Tetra::compile(src)?;
     let mut elapsed = Vec::with_capacity(threads.len());
     for &t in threads {
         let console = BufferConsole::new();
-        let config = crate::InterpConfig {
-            worker_threads: t,
-            ..crate::InterpConfig::default()
-        };
+        let config = crate::InterpConfig { worker_threads: t, ..crate::InterpConfig::default() };
         let start = std::time::Instant::now();
         program.run_with(config, console)?;
         elapsed.push((t, start.elapsed().as_nanos() as u64));
@@ -158,10 +149,7 @@ mod tests {
         let cost = CostModel { gil: true, ..CostModel::default() };
         let rows = simulated_speedup_with(&src, &[1, 4, 8], cost).unwrap();
         for r in &rows[1..] {
-            assert!(
-                (0.75..1.25).contains(&r.speedup),
-                "GIL must pin speedup at ~1x: {rows:?}"
-            );
+            assert!((0.75..1.25).contains(&r.speedup), "GIL must pin speedup at ~1x: {rows:?}");
         }
     }
 

@@ -20,6 +20,7 @@
 //! | tree-walking interpreter (real OS threads) | [`interp`] |
 //! | bytecode compiler + deterministic VM / simulator | [`vm`] |
 //! | parallel debugger engine + race detection | [`debugger`] |
+//! | tracing, metrics & profiling | [`obs`] |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@ pub use tetra_ast as ast;
 pub use tetra_debugger as debugger;
 pub use tetra_interp as interp;
 pub use tetra_lexer as lexer;
+pub use tetra_obs as obs;
 pub use tetra_parser as parser;
 pub use tetra_runtime as runtime;
 pub use tetra_stdlib as stdlib;
@@ -64,11 +66,7 @@ pub struct CompileError {
 impl CompileError {
     /// Render every diagnostic against the source, rustc-style.
     pub fn render(&self) -> String {
-        self.diagnostics
-            .iter()
-            .map(|d| d.render(&self.source))
-            .collect::<Vec<_>>()
-            .join("\n\n")
+        self.diagnostics.iter().map(|d| d.render(&self.source)).collect::<Vec<_>>().join("\n\n")
     }
 }
 
@@ -97,14 +95,10 @@ pub struct Tetra {
 impl Tetra {
     /// Parse and type-check Tetra source.
     pub fn compile(source: &str) -> Result<Tetra, CompileError> {
-        let program = tetra_parser::parse(source).map_err(|d| CompileError {
-            diagnostics: vec![d],
-            source: source.to_string(),
-        })?;
-        let typed = tetra_types::check(program).map_err(|diagnostics| CompileError {
-            diagnostics,
-            source: source.to_string(),
-        })?;
+        let program = tetra_parser::parse(source)
+            .map_err(|d| CompileError { diagnostics: vec![d], source: source.to_string() })?;
+        let typed = tetra_types::check(program)
+            .map_err(|diagnostics| CompileError { diagnostics, source: source.to_string() })?;
         Ok(Tetra { typed, source: source.to_string() })
     }
 
@@ -163,10 +157,8 @@ impl Tetra {
     /// and return the optimized program plus fold statistics.
     pub fn optimized(&self) -> Result<(Tetra, tetra_vm::FoldStats), CompileError> {
         let (folded, stats) = tetra_vm::fold_program(&self.typed.program);
-        let typed = tetra_types::check(folded).map_err(|diagnostics| CompileError {
-            diagnostics,
-            source: self.source.clone(),
-        })?;
+        let typed = tetra_types::check(folded)
+            .map_err(|diagnostics| CompileError { diagnostics, source: self.source.clone() })?;
         Ok((Tetra { typed, source: self.source.clone() }, stats))
     }
 
@@ -189,12 +181,10 @@ impl Tetra {
     /// they produce identical output (the cross-engine oracle used by the
     /// integration suite). Returns the common output.
     pub fn run_both(&self, input: &[&str]) -> Result<String, EngineMismatch> {
-        let (interp_out, _) = self
-            .run_captured(input)
-            .map_err(|e| EngineMismatch::Runtime("interpreter", e))?;
+        let (interp_out, _) =
+            self.run_captured(input).map_err(|e| EngineMismatch::Runtime("interpreter", e))?;
         let console = BufferConsole::with_input(input);
-        self.simulate(console.clone())
-            .map_err(|e| EngineMismatch::Runtime("vm", e))?;
+        self.simulate(console.clone()).map_err(|e| EngineMismatch::Runtime("vm", e))?;
         let vm_out = console.output();
         if interp_out != vm_out {
             return Err(EngineMismatch::Diverged { interp: interp_out, vm: vm_out });

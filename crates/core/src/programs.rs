@@ -240,8 +240,8 @@ mod tests {
             ("racy", racy_counter(10)),
             ("deadlock", DEADLOCK.to_string()),
         ] {
-            let parsed = tetra_parser::parse(&src)
-                .unwrap_or_else(|e| panic!("{name} parse: {e}\n{src}"));
+            let parsed =
+                tetra_parser::parse(&src).unwrap_or_else(|e| panic!("{name} parse: {e}\n{src}"));
             tetra_types::check(parsed).unwrap_or_else(|e| panic!("{name} check: {e:?}"));
         }
     }

@@ -1,0 +1,357 @@
+//! API-compatible subset of the `criterion` crate for offline builds.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the benchmark-harness surface the workspace uses: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `sample_size`,
+//! `throughput`, `bench_function`, `bench_with_input`, [`BenchmarkId`] and
+//! `b.iter(..)`.
+//!
+//! Instead of criterion's statistical analysis it takes `sample_size`
+//! wall-clock samples per benchmark (after one warm-up call) and reports
+//! mean / min / max. On exit each bench binary additionally writes a
+//! machine-readable `BENCH_<target>.json` at the workspace root with one
+//! record per benchmark (group, name, parameter, thread count when the
+//! parameter is numeric, and nanosecond timings).
+
+use std::fmt::Display;
+use std::path::PathBuf;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub group: String,
+    pub name: String,
+    /// `BenchmarkId` parameter, when one was given.
+    pub parameter: Option<String>,
+    pub samples: u64,
+    pub mean_ns: u128,
+    pub min_ns: u128,
+    pub max_ns: u128,
+    pub throughput_bytes: Option<u64>,
+}
+
+/// Top-level harness state; collects results across groups.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    /// `--test` mode (`cargo test --benches`): run once, skip reporting.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { results: Vec::new(), test_mode }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
+    }
+
+    /// Prints the human-readable table and writes `BENCH_<target>.json`.
+    /// Called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        if self.test_mode || self.results.is_empty() {
+            return;
+        }
+        println!("\n{:<62} {:>12} {:>12} {:>12}", "benchmark", "mean", "min", "max");
+        for r in &self.results {
+            let label = match &r.parameter {
+                Some(p) => format!("{}/{}/{}", r.group, r.name, p),
+                None => format!("{}/{}", r.group, r.name),
+            };
+            println!(
+                "{:<62} {:>12} {:>12} {:>12}",
+                label,
+                format_ns(r.mean_ns),
+                format_ns(r.min_ns),
+                format_ns(r.max_ns)
+            );
+            if let Some(bytes) = r.throughput_bytes {
+                let secs = r.mean_ns as f64 / 1e9;
+                if secs > 0.0 {
+                    println!("{:<62} {:>38.1} MiB/s", "", bytes as f64 / (1024.0 * 1024.0) / secs);
+                }
+            }
+        }
+        if let Err(e) = self.write_json() {
+            eprintln!("warning: could not write benchmark JSON: {e}");
+        }
+    }
+
+    fn write_json(&self) -> std::io::Result<()> {
+        let path = output_path();
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str("  {");
+            out.push_str(&format!("\"group\": {}, ", json_str(&r.group)));
+            out.push_str(&format!("\"name\": {}, ", json_str(&r.name)));
+            match &r.parameter {
+                Some(p) => out.push_str(&format!("\"parameter\": {}, ", json_str(p))),
+                None => out.push_str("\"parameter\": null, "),
+            }
+            // Numeric parameters in this suite are thread counts.
+            let threads: Option<u64> = r.parameter.as_deref().and_then(|p| p.parse().ok());
+            match threads {
+                Some(t) => out.push_str(&format!("\"threads\": {t}, ")),
+                None => out.push_str("\"threads\": null, "),
+            }
+            out.push_str(&format!(
+                "\"samples\": {}, \"mean_ns\": {}, \"min_ns\": {}, \"max_ns\": {}",
+                r.samples, r.mean_ns, r.min_ns, r.max_ns
+            ));
+            if let Some(b) = r.throughput_bytes {
+                out.push_str(&format!(", \"throughput_bytes\": {b}"));
+            }
+            out.push_str(if i + 1 == self.results.len() { "}\n" } else { "},\n" });
+        }
+        out.push_str("]\n");
+        std::fs::write(&path, out)?;
+        println!("\nwrote {}", path.display());
+        Ok(())
+    }
+}
+
+/// `BENCH_<target>.json`, placed at the workspace root when it can be
+/// found by walking up from the current directory, else in the current
+/// directory.
+fn output_path() -> PathBuf {
+    let stem = std::env::args()
+        .next()
+        .map(|argv0| {
+            let file = PathBuf::from(argv0);
+            let stem = file.file_stem().and_then(|s| s.to_str()).unwrap_or("bench").to_string();
+            // Strip cargo's trailing `-<metadata hash>`.
+            match stem.rsplit_once('-') {
+                Some((base, hash))
+                    if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) =>
+                {
+                    base.to_string()
+                }
+                _ => stem,
+            }
+        })
+        .unwrap_or_else(|| "bench".to_string());
+    let file = format!("BENCH_{stem}.json");
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        if dir.join("ROADMAP.md").exists() || dir.join("Cargo.lock").exists() {
+            return dir.join(&file);
+        }
+        let has_workspace_manifest = std::fs::read_to_string(dir.join("Cargo.toml"))
+            .map(|s| s.contains("[workspace]"))
+            .unwrap_or(false);
+        if has_workspace_manifest {
+            return dir.join(&file);
+        }
+        if !dir.pop() {
+            return PathBuf::from(file);
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Units for [`BenchmarkGroup::throughput`].
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// A named benchmark id, optionally carrying a parameter (e.g. a thread
+/// count).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    pub function_name: String,
+    pub parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function_name: function_name.into(), parameter: Some(parameter.to_string()) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { function_name: String::new(), parameter: Some(parameter.to_string()) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId { function_name: name.to_string(), parameter: None }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId { function_name: name, parameter: None }
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(id, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id, |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, id: BenchmarkId, mut run: impl FnMut(&mut Bencher)) {
+        let samples = if self.criterion.test_mode { 1 } else { self.sample_size };
+        let mut bencher = Bencher { samples: Vec::with_capacity(samples), target: samples };
+        run(&mut bencher);
+        if bencher.samples.is_empty() {
+            return;
+        }
+        let sum: u128 = bencher.samples.iter().sum();
+        let result = BenchResult {
+            group: self.name.clone(),
+            name: if id.function_name.is_empty() { self.name.clone() } else { id.function_name },
+            parameter: id.parameter,
+            samples: bencher.samples.len() as u64,
+            mean_ns: sum / bencher.samples.len() as u128,
+            min_ns: *bencher.samples.iter().min().unwrap(),
+            max_ns: *bencher.samples.iter().max().unwrap(),
+            throughput_bytes: match self.throughput {
+                Some(Throughput::Bytes(b)) => Some(b),
+                _ => None,
+            },
+        };
+        self.criterion.results.push(result);
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; `iter` performs the timed runs.
+pub struct Bencher {
+    samples: Vec<u128>,
+    target: usize,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up call, untimed.
+        black_box(f());
+        for _ in 0..self.target {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed().as_nanos());
+        }
+    }
+}
+
+/// Declares a group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion { results: Vec::new(), test_mode: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("work", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.finish();
+        assert_eq!(c.results.len(), 1);
+        let r = &c.results[0];
+        assert_eq!((r.group.as_str(), r.name.as_str()), ("g", "work"));
+        assert_eq!(r.samples, 3);
+        assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn benchmark_id_parameter_parses_as_threads() {
+        let id = BenchmarkId::from_parameter(8);
+        assert_eq!(id.parameter.as_deref(), Some("8"));
+        let id = BenchmarkId::new("gil_on", 4);
+        assert_eq!(id.function_name, "gil_on");
+        assert_eq!(id.parameter.as_deref(), Some("4"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

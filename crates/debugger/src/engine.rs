@@ -51,11 +51,7 @@ struct State {
 
 impl State {
     fn mode_of(&self, thread: u32) -> Mode {
-        self.modes
-            .get(&thread)
-            .copied()
-            .or(self.default_mode)
-            .unwrap_or(Mode::Run)
+        self.modes.get(&thread).copied().or(self.default_mode).unwrap_or(Mode::Run)
     }
 }
 
@@ -232,11 +228,7 @@ impl DebugHook for Debugger {
         }
         st.paused.insert(
             point.thread_id,
-            PausedThread {
-                thread: point.thread_id,
-                line: point.line,
-                locals: point.vars.locals(),
-            },
+            PausedThread { thread: point.thread_id, line: point.line, locals: point.vars.locals() },
         );
         HookDecision::Block
     }
@@ -247,11 +239,7 @@ impl DebugHook for Debugger {
             self.cv.wait(&mut st);
         }
         if st.stopping {
-            return Err(RuntimeError::new(
-                ErrorKind::Cancelled,
-                "stopped by the debugger",
-                0,
-            ));
+            return Err(RuntimeError::new(ErrorKind::Cancelled, "stopped by the debugger", 0));
         }
         Ok(())
     }

@@ -126,8 +126,7 @@ def main():
         let (walked, frozen) = (children[0], children[1]);
 
         // Step `walked` through several statements; `frozen` must not move.
-        let frozen_line_before =
-            dbg.paused().iter().find(|p| p.thread == frozen).unwrap().line;
+        let frozen_line_before = dbg.paused().iter().find(|p| p.thread == frozen).unwrap().line;
         let mut seen_lines = Vec::new();
         for _ in 0..4 {
             dbg.step(walked);
@@ -138,8 +137,7 @@ def main():
             seen_lines.push(dbg.paused().iter().find(|p| p.thread == walked).unwrap().line);
         }
         assert!(seen_lines.windows(2).any(|w| w[0] != w[1]), "stepping moved: {seen_lines:?}");
-        let frozen_line_after =
-            dbg.paused().iter().find(|p| p.thread == frozen).unwrap().line;
+        let frozen_line_after = dbg.paused().iter().find(|p| p.thread == frozen).unwrap().line;
         assert_eq!(frozen_line_before, frozen_line_after, "frozen thread moved!");
 
         dbg.resume_all();
@@ -194,10 +192,7 @@ def main():
         dbg.watch("total");
         let (interp, console) = make_interp(src, &dbg);
         let handle = std::thread::spawn(move || interp.run());
-        assert!(
-            dbg.wait_until(TIMEOUT, |p| !p.is_empty()),
-            "watch never paused the thread"
-        );
+        assert!(dbg.wait_until(TIMEOUT, |p| !p.is_empty()), "watch never paused the thread");
         let hits = dbg.watch_hits();
         assert_eq!(hits.len(), 1, "{hits:?}");
         assert_eq!(hits[0].1, "total");
@@ -272,10 +267,7 @@ def main():
         // Result may be racy; we only care about detection.
         let _ = interp.run();
         let races = dbg.races();
-        assert!(
-            races.iter().any(|r| r.name == "count"),
-            "expected a race on `count`: {races:?}"
-        );
+        assert!(races.iter().any(|r| r.name == "count"), "expected a race on `count`: {races:?}");
     }
 
     #[test]

@@ -87,11 +87,7 @@ impl LocksetDetector {
             // (re-)owned by it — the join happens-before edge.
             self.vars.insert(
                 loc.clone(),
-                VarState {
-                    phase: Phase::Exclusive(thread),
-                    lockset: None,
-                    name: name.to_string(),
-                },
+                VarState { phase: Phase::Exclusive(thread), lockset: None, name: name.to_string() },
             );
             return;
         }

@@ -62,11 +62,7 @@ pub fn render(events: &[ExecEvent]) -> String {
     writeln!(
         out,
         "{}",
-        header
-            .iter()
-            .map(|h| format!("{h:<COL_WIDTH$}"))
-            .collect::<Vec<_>>()
-            .join("| ")
+        header.iter().map(|h| format!("{h:<COL_WIDTH$}")).collect::<Vec<_>>().join("| ")
     )
     .unwrap();
     writeln!(out, "{}", "-".repeat((COL_WIDTH + 2) * ncols)).unwrap();
@@ -80,10 +76,7 @@ pub fn render(events: &[ExecEvent]) -> String {
         writeln!(
             out,
             "{}",
-            row.iter()
-                .map(|c| format!("{c:<COL_WIDTH$}"))
-                .collect::<Vec<_>>()
-                .join("| ")
+            row.iter().map(|c| format!("{c:<COL_WIDTH$}")).collect::<Vec<_>>().join("| ")
         )
         .unwrap();
     }
@@ -100,12 +93,7 @@ mod tests {
         let events = vec![
             ExecEvent::ThreadStart { id: 0, kind: ThreadKind::Main, parent: None, line: 1 },
             ExecEvent::Statement { id: 0, line: 2 },
-            ExecEvent::ThreadStart {
-                id: 1,
-                kind: ThreadKind::Parallel,
-                parent: Some(0),
-                line: 3,
-            },
+            ExecEvent::ThreadStart { id: 1, kind: ThreadKind::Parallel, parent: Some(0), line: 3 },
             ExecEvent::Statement { id: 1, line: 4 },
             ExecEvent::LockAcquired { id: 1, name: "m".into(), line: 5 },
             ExecEvent::ThreadEnd { id: 1 },

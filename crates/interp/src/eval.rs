@@ -176,7 +176,12 @@ impl ThreadCtx {
         Ok(v)
     }
 
-    pub fn index_write(&mut self, base: Value, index: Value, new: Value) -> Result<(), RuntimeError> {
+    pub fn index_write(
+        &mut self,
+        base: Value,
+        index: Value,
+        new: Value,
+    ) -> Result<(), RuntimeError> {
         with_ops!(self, |ctx| ops::index_write(ctx, base, index, new))?;
         if let Value::Obj(obj) = base {
             self.emit_write(Loc::Obj(obj.addr()), "[element]");
@@ -184,12 +189,7 @@ impl ThreadCtx {
         Ok(())
     }
 
-    fn eval_call(
-        &mut self,
-        e: &Expr,
-        callee: &str,
-        args: &[Expr],
-    ) -> Result<Value, RuntimeError> {
+    fn eval_call(&mut self, e: &Expr, callee: &str, args: &[Expr]) -> Result<Value, RuntimeError> {
         let mark = self.temp_mark();
         for arg in args {
             let v = self.eval(arg)?;
@@ -205,10 +205,8 @@ impl ThreadCtx {
                 Some(idx) => self.call_user(idx, &arg_values),
                 None => match Builtin::lookup(callee) {
                     Some(b) => self.call_builtin(b, &arg_values),
-                    None => Err(self.err(
-                        ErrorKind::UndefinedFunction,
-                        format!("unknown function `{callee}`"),
-                    )),
+                    None => Err(self
+                        .err(ErrorKind::UndefinedFunction, format!("unknown function `{callee}`"))),
                 },
             },
         };
@@ -233,7 +231,9 @@ impl ThreadCtx {
         self.env_stack.push(env);
         self.call_depth += 1;
         let saved_line = self.line;
+        let call_start = tetra_obs::now_ns();
         let result = self.exec_block(&func.body);
+        tetra_obs::call(self.cell.id, &func.name, saved_line, call_start);
         self.call_depth -= 1;
         self.env_stack.pop();
         self.line = saved_line;

@@ -16,9 +16,7 @@ use crate::hooks::{ExecEvent, Loc};
 use crate::thread::{SpawnRoots, ThreadCtx, THREAD_STACK_SIZE};
 
 use tetra_ast::{AssignOp, Block, Expr, Stmt, StmtKind, Target};
-use tetra_runtime::{
-    Env, ErrorKind, Object, RuntimeError, ThreadKind, ThreadState, Value,
-};
+use tetra_runtime::{Env, ErrorKind, Object, RuntimeError, ThreadKind, ThreadState, Value};
 
 /// Control flow result of a statement.
 #[derive(Debug)]
@@ -66,10 +64,9 @@ impl ThreadCtx {
                             let v = self.with_gil(|me| me.eval(m))?;
                             v.display()
                         }
-                        None => format!(
-                            "assert failed: {}",
-                            tetra_ast::pretty::expr_to_source(cond)
-                        ),
+                        None => {
+                            format!("assert failed: {}", tetra_ast::pretty::expr_to_source(cond))
+                        }
                     };
                     return Err(self.err(ErrorKind::AssertionFailed, msg));
                 }
@@ -163,30 +160,27 @@ impl ThreadCtx {
         let mark = self.temp_mark();
         let v = self.eval(iter)?;
         self.push_temp(v);
-        let result = match v {
-            Value::Obj(r) => match r.object() {
-                Object::Array(items) => Ok(items.lock().clone()),
-                Object::Str(s) => {
-                    // One 1-character string per char; root progressively.
-                    let chars: Vec<String> = s.chars().map(|c| c.to_string()).collect();
-                    let mut out = Vec::with_capacity(chars.len());
-                    for c in chars {
-                        let sv = self.alloc_string(c);
-                        self.push_temp(sv);
-                        out.push(sv);
+        let result =
+            match v {
+                Value::Obj(r) => match r.object() {
+                    Object::Array(items) => Ok(items.lock().clone()),
+                    Object::Str(s) => {
+                        // One 1-character string per char; root progressively.
+                        let chars: Vec<String> = s.chars().map(|c| c.to_string()).collect();
+                        let mut out = Vec::with_capacity(chars.len());
+                        for c in chars {
+                            let sv = self.alloc_string(c);
+                            self.push_temp(sv);
+                            out.push(sv);
+                        }
+                        Ok(out)
                     }
-                    Ok(out)
-                }
-                _ => Err(self.err(
-                    ErrorKind::Value,
-                    format!("cannot iterate over a {}", v.type_name()),
-                )),
-            },
-            other => Err(self.err(
-                ErrorKind::Value,
-                format!("cannot iterate over a {}", other.type_name()),
-            )),
-        };
+                    _ => Err(self
+                        .err(ErrorKind::Value, format!("cannot iterate over a {}", v.type_name()))),
+                },
+                other => Err(self
+                    .err(ErrorKind::Value, format!("cannot iterate over a {}", other.type_name()))),
+            };
         self.truncate_temps(mark);
         result
     }
@@ -248,7 +242,6 @@ impl ThreadCtx {
             }
         }
     }
-
 
     // ---- parallel constructs ------------------------------------------------
 
@@ -315,9 +308,7 @@ impl ThreadCtx {
                     ctx.finish_thread();
                     result
                 })
-                .map_err(|e| {
-                    self.err(ErrorKind::Io, format!("could not spawn a thread: {e}"))
-                })?;
+                .map_err(|e| self.err(ErrorKind::Io, format!("could not spawn a thread: {e}")))?;
             handles.push(handle);
         }
         Ok(handles)
@@ -342,10 +333,9 @@ impl ThreadCtx {
             let shared = self.shared.clone();
             let var = var.to_string();
             let body: Block = body.clone();
-            let guard = shared.heap.register_spawned(&SpawnRoots {
-                frames: frames.clone(),
-                values: chunk.clone(),
-            });
+            let guard = shared
+                .heap
+                .register_spawned(&SpawnRoots { frames: frames.clone(), values: chunk.clone() });
             let cell = shared.threads.spawn(Some(self.cell.id), ThreadKind::ParallelFor);
             self.emit(ExecEvent::ThreadStart {
                 id: cell.id,
@@ -359,8 +349,7 @@ impl ThreadCtx {
                 .name(format!("tetra-{}", cell.id))
                 .stack_size(THREAD_STACK_SIZE)
                 .spawn(move || {
-                    let mut ctx =
-                        ThreadCtx::new_child(shared, guard, cell, env, chunk.clone());
+                    let mut ctx = ThreadCtx::new_child(shared, guard, cell, env, chunk.clone());
                     let mut result = Ok(());
                     for item in chunk {
                         ctx.current_env().define(&var, item);
@@ -372,9 +361,7 @@ impl ThreadCtx {
                     ctx.finish_thread();
                     result
                 })
-                .map_err(|e| {
-                    self.err(ErrorKind::Io, format!("could not spawn a thread: {e}"))
-                })?;
+                .map_err(|e| self.err(ErrorKind::Io, format!("could not spawn a thread: {e}")))?;
             handles.push(handle);
         }
         self.join_children(handles)
@@ -418,7 +405,15 @@ impl ThreadCtx {
     /// Mark the thread finished and emit its end event.
     pub fn finish_thread(&mut self) {
         self.cell.set_state(ThreadState::Finished);
+        if tetra_obs::enabled() {
+            let name = match self.cell.kind {
+                ThreadKind::Main => "main".to_string(),
+                ThreadKind::Parallel => format!("parallel-{}", self.cell.id),
+                ThreadKind::Background => format!("background-{}", self.cell.id),
+                ThreadKind::ParallelFor => format!("parallel_for-{}", self.cell.id),
+            };
+            tetra_obs::thread_span(self.cell.id, &name, self.span_start_ns);
+        }
         self.emit(ExecEvent::ThreadEnd { id: self.cell.id });
     }
 }
-

@@ -33,17 +33,50 @@ pub enum Loc {
 /// Execution events, emitted only while a hook is installed.
 #[derive(Debug, Clone)]
 pub enum ExecEvent {
-    ThreadStart { id: u32, kind: ThreadKind, parent: Option<u32>, line: u32 },
-    ThreadEnd { id: u32 },
+    ThreadStart {
+        id: u32,
+        kind: ThreadKind,
+        parent: Option<u32>,
+        line: u32,
+    },
+    ThreadEnd {
+        id: u32,
+    },
     /// About to execute the statement at `line`.
-    Statement { id: u32, line: u32 },
-    LockWait { id: u32, name: String, line: u32 },
-    LockAcquired { id: u32, name: String, line: u32 },
-    LockReleased { id: u32, name: String },
+    Statement {
+        id: u32,
+        line: u32,
+    },
+    LockWait {
+        id: u32,
+        name: String,
+        line: u32,
+    },
+    LockAcquired {
+        id: u32,
+        name: String,
+        line: u32,
+    },
+    LockReleased {
+        id: u32,
+        name: String,
+    },
     /// A variable or element read. `locks` is the thread's held lockset.
-    Read { id: u32, loc: Loc, name: String, line: u32, locks: Vec<String> },
+    Read {
+        id: u32,
+        loc: Loc,
+        name: String,
+        line: u32,
+        locks: Vec<String>,
+    },
     /// A variable or element write.
-    Write { id: u32, loc: Loc, name: String, line: u32, locks: Vec<String> },
+    Write {
+        id: u32,
+        loc: Loc,
+        name: String,
+        line: u32,
+        locks: Vec<String>,
+    },
 }
 
 impl ExecEvent {
@@ -143,12 +176,8 @@ mod tests {
 
     #[test]
     fn thread_start_shows_parent() {
-        let ev = ExecEvent::ThreadStart {
-            id: 2,
-            kind: ThreadKind::Parallel,
-            parent: Some(0),
-            line: 9,
-        };
+        let ev =
+            ExecEvent::ThreadStart { id: 2, kind: ThreadKind::Parallel, parent: Some(0), line: 9 };
         assert!(ev.describe().contains("by T0"));
     }
 }

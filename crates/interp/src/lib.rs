@@ -33,9 +33,9 @@
 //! assert!(out.contains("2\n") && out.contains("4\n"));
 //! ```
 
+mod eval;
 pub mod exec;
 pub mod hooks;
-mod eval;
 mod thread;
 
 use hooks::DebugHook;
@@ -68,9 +68,7 @@ pub struct InterpConfig {
 impl Default for InterpConfig {
     fn default() -> Self {
         InterpConfig {
-            worker_threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            worker_threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             gil: false,
             gc: HeapConfig::default(),
             detect_deadlocks: true,
@@ -99,8 +97,7 @@ pub struct Shared {
     pub console: ConsoleRef,
     pub hook: Option<Arc<dyn DebugHook>>,
     pub gil: Option<Arc<Mutex<()>>>,
-    pub(crate) background:
-        Mutex<Vec<std::thread::JoinHandle<Result<(), RuntimeError>>>>,
+    pub(crate) background: Mutex<Vec<std::thread::JoinHandle<Result<(), RuntimeError>>>>,
 }
 
 /// The interpreter: build once per program run.
@@ -359,9 +356,7 @@ def main():
 
     #[test]
     fn integer_overflow_is_an_error() {
-        let e = run_err(
-            "def main():\n    x = 9223372036854775807\n    x += 1\n    print(x)\n",
-        );
+        let e = run_err("def main():\n    x = 9223372036854775807\n    x += 1\n    print(x)\n");
         assert_eq!(e.kind, ErrorKind::Overflow);
     }
 
@@ -375,9 +370,7 @@ def main():
 
     #[test]
     fn recursion_limit_is_an_error_not_a_crash() {
-        let e = run_err(
-            "def f(x int) int:\n    return f(x + 1)\ndef main():\n    print(f(0))\n",
-        );
+        let e = run_err("def f(x int) int:\n    return f(x + 1)\ndef main():\n    print(f(0))\n");
         assert!(e.message.contains("call depth"), "{e}");
     }
 

@@ -36,6 +36,8 @@ pub(crate) struct ThreadCtx {
     pub call_depth: u32,
     /// Line of the statement currently executing.
     pub line: u32,
+    /// Trace timestamp of this thread's start (0 when tracing is off).
+    pub span_start_ns: u64,
 }
 
 /// Borrowed root view over a `ThreadCtx`'s state (avoids aliasing issues
@@ -90,6 +92,7 @@ impl ThreadCtx {
             held_locks: Vec::new(),
             call_depth: 0,
             line: 0,
+            span_start_ns: tetra_obs::now_ns(),
         }
     }
 
@@ -113,6 +116,7 @@ impl ThreadCtx {
             held_locks: Vec::new(),
             call_depth: 0,
             line: 0,
+            span_start_ns: tetra_obs::now_ns(),
         }
     }
 
@@ -173,6 +177,7 @@ impl ThreadCtx {
     pub fn statement_prologue(&mut self, stmt: &Stmt) -> Result<(), RuntimeError> {
         self.line = stmt.span.line;
         self.cell.set_line(self.line);
+        tetra_obs::stmt(self.cell.id, self.line);
         self.poll_gc();
         if let Some(hook) = self.shared.hook.clone() {
             hook.on_event(&ExecEvent::Statement { id: self.cell.id, line: self.line });

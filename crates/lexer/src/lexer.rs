@@ -248,8 +248,7 @@ impl<'s> Lexer<'s> {
         }
         let text = &self.src[start..self.pos];
         let span = Span::new(start as u32, self.pos as u32, span0.line, span0.col);
-        let kind =
-            TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
         self.out.push(Token::new(kind, span));
     }
 
@@ -301,9 +300,10 @@ impl<'s> Lexer<'s> {
         let text = &self.src[start..self.pos];
         let span = Span::new(start as u32, self.pos as u32, span0.line, span0.col);
         let kind = if is_real {
-            TokenKind::Real(text.parse::<f64>().map_err(|e| {
-                self.error(format!("invalid real literal `{text}`: {e}"), span)
-            })?)
+            TokenKind::Real(
+                text.parse::<f64>()
+                    .map_err(|e| self.error(format!("invalid real literal `{text}`: {e}"), span))?,
+            )
         } else {
             TokenKind::Int(text.parse::<i64>().map_err(|_| {
                 self.error(format!("integer literal `{text}` is too large"), span)
@@ -450,10 +450,7 @@ mod tests {
     #[test]
     fn simple_assignment() {
         use TokenKind::*;
-        assert_eq!(
-            kinds("x = 42\n"),
-            vec![Ident("x".into()), Assign, Int(42), Newline, Eof]
-        );
+        assert_eq!(kinds("x = 42\n"), vec![Ident("x".into()), Assign, Int(42), Newline, Eof]);
     }
 
     #[test]
@@ -570,14 +567,7 @@ mod tests {
         use TokenKind::*;
         assert_eq!(
             kinds(r#"print("a\tb\n")"#),
-            vec![
-                Ident("print".into()),
-                LParen,
-                Str("a\tb\n".into()),
-                RParen,
-                Newline,
-                Eof
-            ]
+            vec![Ident("print".into()), LParen, Str("a\tb\n".into()), RParen, Newline, Eof]
         );
     }
 

@@ -39,12 +39,7 @@ impl Span {
         }
         let (line, col) =
             if self.start <= other.start { (self.line, self.col) } else { (other.line, other.col) };
-        Span {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-            line,
-            col,
-        }
+        Span { start: self.start.min(other.start), end: self.end.max(other.end), line, col }
     }
 
     /// Length in bytes.

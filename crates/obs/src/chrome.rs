@@ -1,0 +1,123 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the JSON object format (`{"traceEvents": [...]}`) accepted by
+//! Perfetto and `chrome://tracing`. Each Tetra thread becomes one track
+//! (`tid`), named via `thread_name` metadata from its `ThreadSpan` event.
+//! Span events are emitted as complete (`"ph": "X"`) events with
+//! microsecond timestamps; statement instants are deliberately omitted —
+//! at one event per interpreted statement they swamp the viewer, and the
+//! profile report covers per-line data instead.
+
+use crate::event::EventKind;
+use crate::session::Trace;
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Microseconds with nanosecond precision, as Chrome expects.
+fn us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1000.0)
+}
+
+/// Render `trace` as Chrome trace-event JSON.
+pub fn export(trace: &Trace) -> String {
+    let mut rows: Vec<String> = Vec::new();
+    rows.push(
+        r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"tetra"}}"#.to_string(),
+    );
+    for (tid, name) in trace.thread_names() {
+        rows.push(format!(
+            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{tid},"args":{{"name":{}}}}}"#,
+            json_str(&name)
+        ));
+    }
+    for e in &trace.events {
+        let (name, cat, args) = match e.kind {
+            // Statement instants are profile-report data, not tracks.
+            EventKind::Stmt => continue,
+            EventKind::Call => {
+                (trace.name(e.a).to_string(), "call", format!(r#"{{"line":{}}}"#, e.b))
+            }
+            EventKind::ThreadSpan => {
+                (format!("run {}", trace.name(e.a)), "thread", String::from("{}"))
+            }
+            EventKind::LockWait => {
+                (format!("wait {}", trace.name(e.a)), "lock", format!(r#"{{"line":{}}}"#, e.b))
+            }
+            EventKind::LockHold => {
+                (format!("hold {}", trace.name(e.a)), "lock", String::from("{}"))
+            }
+            EventKind::GcStwWait | EventKind::GcMark | EventKind::GcSweep | EventKind::GcPause => {
+                (e.kind.label().to_string(), "gc", format!(r#"{{"collection":{}}}"#, e.a))
+            }
+            EventKind::VmDispatch => {
+                ("dispatch".to_string(), "vm", format!(r#"{{"instructions":{}}}"#, e.a))
+            }
+        };
+        rows.push(format!(
+            r#"{{"name":{},"cat":"{cat}","ph":"X","pid":1,"tid":{},"ts":{},"dur":{},"args":{args}}}"#,
+            json_str(&name),
+            e.tid,
+            us(e.start_ns),
+            us(e.dur_ns),
+        ));
+    }
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    #[test]
+    fn export_contains_tracks_and_spans() {
+        let trace = Trace {
+            events: vec![
+                Event {
+                    kind: EventKind::ThreadSpan,
+                    tid: 0,
+                    start_ns: 0,
+                    dur_ns: 5_000,
+                    a: 0,
+                    b: 0,
+                },
+                Event {
+                    kind: EventKind::LockWait,
+                    tid: 2,
+                    start_ns: 1_500,
+                    dur_ns: 250,
+                    a: 1,
+                    b: 7,
+                },
+                Event { kind: EventKind::Stmt, tid: 0, start_ns: 10, dur_ns: 0, a: 3, b: 0 },
+            ],
+            names: vec!["main".into(), "m".into()],
+            ..Trace::default()
+        };
+        let json = export(&trace);
+        assert!(json.contains(r#""thread_name""#));
+        assert!(json.contains(r#""tid":2"#));
+        assert!(json.contains(r#""name":"wait m""#));
+        assert!(json.contains(r#""ts":1.500"#));
+        // Statement instants are excluded.
+        assert!(!json.contains(r#""cat":"stmt""#));
+    }
+}

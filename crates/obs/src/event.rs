@@ -1,0 +1,135 @@
+//! Typed trace events and their packed 4×u64 wire representation.
+//!
+//! Events are stored in per-thread ring buffers as four `AtomicU64` words:
+//!
+//! ```text
+//! w0: kind (low 8 bits) | tid << 8
+//! w1: start_ns (session-relative)
+//! w2: dur_ns (0 for instant events)
+//! w3: a (low 32 bits) | b << 32
+//! ```
+//!
+//! `a`/`b` are kind-specific payloads: a source line, an interned string
+//! symbol, a collection ordinal, or an instruction count.
+
+/// What happened. Discriminants are the wire encoding in `w0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum EventKind {
+    /// Instant: statement at line `a` began executing.
+    Stmt = 0,
+    /// Span: call to function symbol `a`, call site line `b`.
+    Call = 1,
+    /// Span: lifetime of Tetra thread `tid`; `a` is its name symbol.
+    ThreadSpan = 2,
+    /// Span: blocked acquiring lock symbol `a` at line `b`.
+    LockWait = 3,
+    /// Span: held lock symbol `a` (emitted at release).
+    LockHold = 4,
+    /// Span: GC waited for mutators to reach safepoints (collection `a`).
+    GcStwWait = 5,
+    /// Span: GC mark phase (collection `a`).
+    GcMark = 6,
+    /// Span: GC sweep phase (collection `a`).
+    GcSweep = 7,
+    /// Span: entire stop-the-world pause (collection `a`).
+    GcPause = 8,
+    /// Span: VM dispatch batch that executed `a` instructions.
+    VmDispatch = 9,
+}
+
+impl EventKind {
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        Some(match v {
+            0 => EventKind::Stmt,
+            1 => EventKind::Call,
+            2 => EventKind::ThreadSpan,
+            3 => EventKind::LockWait,
+            4 => EventKind::LockHold,
+            5 => EventKind::GcStwWait,
+            6 => EventKind::GcMark,
+            7 => EventKind::GcSweep,
+            8 => EventKind::GcPause,
+            9 => EventKind::VmDispatch,
+            _ => return None,
+        })
+    }
+
+    /// Human-readable name used by both exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            EventKind::Stmt => "stmt",
+            EventKind::Call => "call",
+            EventKind::ThreadSpan => "thread",
+            EventKind::LockWait => "lock_wait",
+            EventKind::LockHold => "lock_hold",
+            EventKind::GcStwWait => "gc_stw_wait",
+            EventKind::GcMark => "gc_mark",
+            EventKind::GcSweep => "gc_sweep",
+            EventKind::GcPause => "gc_pause",
+            EventKind::VmDispatch => "vm_dispatch",
+        }
+    }
+}
+
+/// A decoded trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    pub kind: EventKind,
+    /// Tetra thread id (0 = main).
+    pub tid: u32,
+    /// Session-relative start, nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds; 0 for instants.
+    pub dur_ns: u64,
+    /// Kind-specific payload (line, symbol, ordinal, count).
+    pub a: u32,
+    /// Second kind-specific payload.
+    pub b: u32,
+}
+
+impl Event {
+    #[inline]
+    pub fn encode(&self) -> [u64; 4] {
+        [
+            (self.kind as u64) | ((self.tid as u64) << 8),
+            self.start_ns,
+            self.dur_ns,
+            (self.a as u64) | ((self.b as u64) << 32),
+        ]
+    }
+
+    #[inline]
+    pub fn decode(words: [u64; 4]) -> Option<Event> {
+        Some(Event {
+            kind: EventKind::from_u8((words[0] & 0xFF) as u8)?,
+            tid: (words[0] >> 8) as u32,
+            start_ns: words[1],
+            dur_ns: words[2],
+            a: (words[3] & 0xFFFF_FFFF) as u32,
+            b: (words[3] >> 32) as u32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_kinds() {
+        for k in 0..=9u8 {
+            let kind = EventKind::from_u8(k).unwrap();
+            let e = Event {
+                kind,
+                tid: 0xABCD_1234,
+                start_ns: u64::MAX / 3,
+                dur_ns: 42,
+                a: 7,
+                b: 0xFFFF_FFFF,
+            };
+            assert_eq!(Event::decode(e.encode()), Some(e));
+        }
+        assert_eq!(EventKind::from_u8(200), None);
+    }
+}

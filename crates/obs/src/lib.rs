@@ -1,0 +1,252 @@
+//! tetra-obs: unified tracing, metrics, and profiling for the Tetra suite.
+//!
+//! This crate is the single observability layer shared by the tree-walking
+//! interpreter, the bytecode VM, and the runtime (GC + lock registry). It
+//! provides:
+//!
+//! * **Trace collection** ([`event`], [`ring`]) — each OS thread writes
+//!   typed events into its own lock-free ring buffer. When tracing is
+//!   disabled the emit path is a single relaxed atomic load, so
+//!   instrumentation can stay compiled into release builds.
+//! * **Metrics** ([`metrics`]) — a registry of named counters and log2
+//!   histograms fed from low-frequency paths (lock operations, GC pauses,
+//!   thread lifecycle).
+//! * **Exporters** ([`chrome`], [`profile`]) — Chrome trace-event JSON
+//!   (loadable in Perfetto / `chrome://tracing`, one track per Tetra
+//!   thread) and a human-readable profiling report (top lines by
+//!   self-time, per-lock contention, GC pause summary).
+//!
+//! # Lifecycle
+//!
+//! ```
+//! use tetra_obs as obs;
+//! obs::session::begin(obs::session::Config::default());
+//! // ... run a Tetra program; instrumented code emits events ...
+//! obs::stmt(0, 1);
+//! let trace = obs::session::end();
+//! let json = obs::chrome::export(&trace);
+//! let report = obs::profile::report(&trace, None);
+//! assert!(json.starts_with("{\"traceEvents\":"));
+//! assert!(report.contains("threads: 1"));
+//! ```
+//!
+//! Events are timestamped in nanoseconds relative to the session start.
+//! Ring buffers hold the most recent `events_per_thread` events per
+//! thread; older events are overwritten and counted as dropped.
+
+pub mod chrome;
+pub mod event;
+pub mod metrics;
+pub mod profile;
+pub mod ring;
+pub mod session;
+
+pub use event::{Event, EventKind};
+pub use session::Trace;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Global tracing switch. Relaxed loads only on the hot path.
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Global metrics switch, independent of tracing.
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// True when a tracing session is active. This is the only check on the
+/// disabled fast path.
+#[inline(always)]
+pub fn enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// True when metrics collection is active.
+#[inline(always)]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn set_enabled(trace: bool, metrics: bool) {
+    TRACE_ENABLED.store(trace, Ordering::SeqCst);
+    METRICS_ENABLED.store(metrics, Ordering::SeqCst);
+}
+
+// ---------------------------------------------------------------------------
+// Emission API (called from instrumented code)
+// ---------------------------------------------------------------------------
+
+/// Current session-relative timestamp in nanoseconds, or 0 when tracing is
+/// disabled. Instrumented code calls this at span starts and passes the
+/// value back to the matching emit function.
+#[inline]
+pub fn now_ns() -> u64 {
+    if !enabled() {
+        return 0;
+    }
+    session::elapsed_ns()
+}
+
+/// Timestamp that ignores the trace switch — used by metrics-only call
+/// sites (GC pause accounting) that must time even without a trace.
+#[inline]
+pub fn metric_now_ns() -> u64 {
+    if !enabled() && !metrics_enabled() {
+        return 0;
+    }
+    session::elapsed_ns()
+}
+
+/// Statement executed: an instant event carrying the source line. This is
+/// the highest-frequency event; per-line self-time in the profile report
+/// is derived from deltas between consecutive statement instants on the
+/// same thread.
+#[inline]
+pub fn stmt(tid: u32, line: u32) {
+    if !enabled() {
+        return;
+    }
+    ring::emit(Event {
+        kind: EventKind::Stmt,
+        tid,
+        start_ns: session::elapsed_ns(),
+        dur_ns: 0,
+        a: line,
+        b: 0,
+    });
+}
+
+/// User-function call span (`start_ns` from [`now_ns`] at entry).
+#[inline]
+pub fn call(tid: u32, name: &str, line: u32, start_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let sym = session::intern(name);
+    let end = session::elapsed_ns();
+    ring::emit(Event {
+        kind: EventKind::Call,
+        tid,
+        start_ns,
+        dur_ns: end.saturating_sub(start_ns),
+        a: sym,
+        b: line,
+    });
+}
+
+/// Whole-lifetime span of a Tetra thread, emitted when the thread
+/// finishes. `name` becomes the Chrome track name.
+#[inline]
+pub fn thread_span(tid: u32, name: &str, start_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let sym = session::intern(name);
+    let end = session::elapsed_ns();
+    ring::emit(Event {
+        kind: EventKind::ThreadSpan,
+        tid,
+        start_ns,
+        dur_ns: end.saturating_sub(start_ns),
+        a: sym,
+        b: 0,
+    });
+    metrics::counter_add("threads.finished", 1);
+}
+
+/// Time spent blocked acquiring a named lock (zero-duration waits are
+/// still recorded — they distinguish contended from uncontended acquires
+/// by duration).
+#[inline]
+pub fn lock_wait(tid: u32, lock: &str, line: u32, start_ns: u64) {
+    let end = metric_now_ns();
+    let wait = end.saturating_sub(start_ns);
+    metrics::histogram_record("lock.wait_ns", wait);
+    if !enabled() {
+        return;
+    }
+    let sym = session::intern(lock);
+    ring::emit(Event { kind: EventKind::LockWait, tid, start_ns, dur_ns: wait, a: sym, b: line });
+}
+
+/// Time a named lock was held, emitted at release.
+#[inline]
+pub fn lock_hold(tid: u32, lock: &str, start_ns: u64) {
+    let end = metric_now_ns();
+    let held = end.saturating_sub(start_ns);
+    metrics::histogram_record("lock.hold_ns", held);
+    if !enabled() {
+        return;
+    }
+    let sym = session::intern(lock);
+    ring::emit(Event { kind: EventKind::LockHold, tid, start_ns, dur_ns: held, a: sym, b: 0 });
+}
+
+/// Synthetic thread id for the collector's events: GC pauses appear as
+/// their own track rather than under whichever mutator triggered them.
+pub const GC_TID: u32 = u32::MAX;
+
+/// Phases of one stop-the-world collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GcPhase {
+    /// Collector waiting for mutators to reach safepoints.
+    StwWait,
+    /// Mark phase (root scan + transitive marking).
+    Mark,
+    /// Sweep phase.
+    Sweep,
+    /// The entire pause, wrapping the three phases above.
+    Pause,
+}
+
+/// GC phase span; `collection` is the ordinal of the collection.
+#[inline]
+pub fn gc_phase(tid: u32, phase: GcPhase, collection: u32, start_ns: u64) {
+    let end = metric_now_ns();
+    let dur = end.saturating_sub(start_ns);
+    if phase == GcPhase::Pause {
+        metrics::histogram_record("gc.pause_ns", dur);
+    }
+    if !enabled() {
+        return;
+    }
+    let kind = match phase {
+        GcPhase::StwWait => EventKind::GcStwWait,
+        GcPhase::Mark => EventKind::GcMark,
+        GcPhase::Sweep => EventKind::GcSweep,
+        GcPhase::Pause => EventKind::GcPause,
+    };
+    ring::emit(Event { kind, tid, start_ns, dur_ns: dur, a: collection, b: 0 });
+}
+
+/// One VM dispatch batch: `instructions` instructions executed for `tid`
+/// between `start_ns` and now.
+#[inline]
+pub fn vm_dispatch(tid: u32, instructions: u32, start_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    let end = session::elapsed_ns();
+    ring::emit(Event {
+        kind: EventKind::VmDispatch,
+        tid,
+        start_ns,
+        dur_ns: end.saturating_sub(start_ns),
+        a: instructions,
+        b: 0,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_cheap_and_silent() {
+        assert!(!enabled());
+        assert_eq!(now_ns(), 0);
+        stmt(0, 1);
+        call(0, "f", 1, 0);
+        lock_wait(0, "m", 1, 0);
+        // No session: nothing to collect.
+        assert!(session::end().events.is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! Human-readable profiling report (`tetra profile`).
+//!
+//! Aggregates a [`Trace`] into:
+//!
+//! * top source lines by self-time — derived from statement instants:
+//!   the time attributed to a line is the gap until the same thread's
+//!   next statement began (so it includes calls the line made);
+//! * per-function call counts and durations;
+//! * a per-lock contention table (waits, wait time, hold time);
+//! * a GC pause summary with per-phase breakdown;
+//! * VM dispatch totals when the program ran on the bytecode VM.
+
+use crate::event::EventKind;
+use crate::session::Trace;
+use std::collections::BTreeMap;
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct LineStat {
+    count: u64,
+    self_ns: u64,
+}
+
+#[derive(Default, Clone, Copy)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl SpanStat {
+    fn add(&mut self, dur: u64) {
+        self.count += 1;
+        self.total_ns += dur;
+        self.max_ns = self.max_ns.max(dur);
+    }
+}
+
+/// Per-line statistics: `(line -> (count, self_ns))`, public so tests and
+/// the CLI can assert on numbers rather than text.
+pub fn line_stats(trace: &Trace) -> BTreeMap<u32, (u64, u64)> {
+    // Statement instants, grouped per thread in time order (the trace is
+    // already globally time-sorted).
+    let mut per_thread: BTreeMap<u32, Vec<(u64, u32)>> = BTreeMap::new();
+    for e in &trace.events {
+        if e.kind == EventKind::Stmt {
+            per_thread.entry(e.tid).or_default().push((e.start_ns, e.a));
+        }
+    }
+    // End-of-track boundary: the thread's span end when known, else its
+    // last event of any kind.
+    let mut track_end: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in &trace.events {
+        let end = e.start_ns + e.dur_ns;
+        let entry = track_end.entry(e.tid).or_insert(end);
+        *entry = (*entry).max(end);
+    }
+    let mut stats: BTreeMap<u32, LineStat> = BTreeMap::new();
+    for (tid, stmts) in &per_thread {
+        for (i, (start, line)) in stmts.iter().enumerate() {
+            let next = stmts
+                .get(i + 1)
+                .map(|(t, _)| *t)
+                .or_else(|| track_end.get(tid).copied())
+                .unwrap_or(*start);
+            let s = stats.entry(*line).or_default();
+            s.count += 1;
+            s.self_ns += next.saturating_sub(*start);
+        }
+    }
+    stats.into_iter().map(|(line, s)| (line, (s.count, s.self_ns))).collect()
+}
+
+/// Render the full report.
+pub fn report(trace: &Trace, source_lines: Option<&[String]>) -> String {
+    let mut out = String::new();
+    let threads = trace.thread_names();
+    out.push_str(&format!(
+        "== tetra profile ==\nduration: {}   threads: {}   events: {}{}\n",
+        fmt_ns(trace.duration_ns),
+        threads.len(),
+        trace.events.len(),
+        if trace.dropped_events > 0 {
+            format!("   dropped: {} (ring wraparound; oldest events lost)", trace.dropped_events)
+        } else {
+            String::new()
+        }
+    ));
+
+    // --- top lines by self-time -------------------------------------------
+    let lines = line_stats(trace);
+    let mut by_time: Vec<(u32, (u64, u64))> = lines.into_iter().collect();
+    by_time.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(&b.0)));
+    out.push_str("\n-- top lines by self-time --\n");
+    if by_time.is_empty() {
+        out.push_str("(no statement events; line profiling covers the interpreter)\n");
+    } else {
+        out.push_str(&format!("{:>6} {:>12} {:>10}  source\n", "line", "self-time", "count"));
+        for (line, (count, self_ns)) in by_time.iter().take(15) {
+            let src = source_lines
+                .and_then(|ls| ls.get(line.saturating_sub(1) as usize))
+                .map(|s| s.trim())
+                .unwrap_or("");
+            out.push_str(&format!("{:>6} {:>12} {:>10}  {}\n", line, fmt_ns(*self_ns), count, src));
+        }
+    }
+
+    // --- function calls ----------------------------------------------------
+    let mut calls: BTreeMap<u32, SpanStat> = BTreeMap::new();
+    for e in &trace.events {
+        if e.kind == EventKind::Call {
+            calls.entry(e.a).or_default().add(e.dur_ns);
+        }
+    }
+    if !calls.is_empty() {
+        let mut rows: Vec<(u32, SpanStat)> = calls.into_iter().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1.total_ns));
+        out.push_str("\n-- function calls --\n");
+        out.push_str(&format!("{:<24} {:>8} {:>12} {:>12}\n", "function", "calls", "total", "max"));
+        for (sym, s) in rows.iter().take(10) {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>12} {:>12}\n",
+                trace.name(*sym),
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.max_ns)
+            ));
+        }
+    }
+
+    // --- lock contention ----------------------------------------------------
+    let mut waits: BTreeMap<u32, SpanStat> = BTreeMap::new();
+    let mut holds: BTreeMap<u32, SpanStat> = BTreeMap::new();
+    let mut contended: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in &trace.events {
+        match e.kind {
+            EventKind::LockWait => {
+                waits.entry(e.a).or_default().add(e.dur_ns);
+                // A wait longer than 1µs means the lock was actually
+                // contended rather than acquired on the fast path.
+                if e.dur_ns > 1_000 {
+                    *contended.entry(e.a).or_insert(0) += 1;
+                }
+            }
+            EventKind::LockHold => holds.entry(e.a).or_default().add(e.dur_ns),
+            _ => {}
+        }
+    }
+    out.push_str("\n-- lock contention --\n");
+    if waits.is_empty() && holds.is_empty() {
+        out.push_str("(no lock operations)\n");
+    } else {
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>10} {:>11} {:>10} {:>11} {:>10}\n",
+            "lock", "acquires", "contended", "wait-total", "wait-max", "hold-total", "hold-max"
+        ));
+        let mut all: Vec<u32> = waits.keys().chain(holds.keys()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all.sort_by_key(|sym| std::cmp::Reverse(waits.get(sym).map(|s| s.total_ns).unwrap_or(0)));
+        for sym in all {
+            let w = waits.get(&sym).copied().unwrap_or_default();
+            let h = holds.get(&sym).copied().unwrap_or_default();
+            out.push_str(&format!(
+                "{:<16} {:>9} {:>10} {:>11} {:>10} {:>11} {:>10}\n",
+                trace.name(sym),
+                w.count.max(h.count),
+                contended.get(&sym).copied().unwrap_or(0),
+                fmt_ns(w.total_ns),
+                fmt_ns(w.max_ns),
+                fmt_ns(h.total_ns),
+                fmt_ns(h.max_ns)
+            ));
+        }
+    }
+
+    // --- GC ------------------------------------------------------------------
+    let mut pauses = SpanStat::default();
+    let mut phases: [(EventKind, SpanStat); 3] = [
+        (EventKind::GcStwWait, SpanStat::default()),
+        (EventKind::GcMark, SpanStat::default()),
+        (EventKind::GcSweep, SpanStat::default()),
+    ];
+    for e in &trace.events {
+        if e.kind == EventKind::GcPause {
+            pauses.add(e.dur_ns);
+        }
+        for (kind, stat) in phases.iter_mut() {
+            if e.kind == *kind {
+                stat.add(e.dur_ns);
+            }
+        }
+    }
+    out.push_str("\n-- gc pauses --\n");
+    if pauses.count == 0 {
+        out.push_str("(no collections)\n");
+    } else {
+        out.push_str(&format!(
+            "collections: {}   pause total: {}   pause max: {}   pause mean: {}\n",
+            pauses.count,
+            fmt_ns(pauses.total_ns),
+            fmt_ns(pauses.max_ns),
+            fmt_ns(pauses.total_ns / pauses.count)
+        ));
+        for (kind, stat) in &phases {
+            if stat.count > 0 {
+                out.push_str(&format!(
+                    "  {:<12} total: {:>10}   max: {:>10}\n",
+                    kind.label(),
+                    fmt_ns(stat.total_ns),
+                    fmt_ns(stat.max_ns)
+                ));
+            }
+        }
+    }
+
+    // --- VM ------------------------------------------------------------------
+    let mut batches = SpanStat::default();
+    let mut instructions: u64 = 0;
+    for e in &trace.events {
+        if e.kind == EventKind::VmDispatch {
+            batches.add(e.dur_ns);
+            instructions += e.a as u64;
+        }
+    }
+    if batches.count > 0 {
+        out.push_str(&format!(
+            "\n-- vm dispatch --\nbatches: {}   instructions: {}   dispatch time: {}\n",
+            batches.count,
+            instructions,
+            fmt_ns(batches.total_ns)
+        ));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn stmt(tid: u32, t: u64, line: u32) -> Event {
+        Event { kind: EventKind::Stmt, tid, start_ns: t, dur_ns: 0, a: line, b: 0 }
+    }
+
+    #[test]
+    fn line_self_time_uses_deltas_per_thread() {
+        let trace = Trace {
+            events: vec![
+                stmt(0, 100, 1),
+                stmt(1, 150, 9),
+                stmt(0, 400, 2),
+                stmt(1, 250, 9),
+                Event {
+                    kind: EventKind::ThreadSpan,
+                    tid: 0,
+                    start_ns: 0,
+                    dur_ns: 1000,
+                    a: 0,
+                    b: 0,
+                },
+                Event {
+                    kind: EventKind::ThreadSpan,
+                    tid: 1,
+                    start_ns: 150,
+                    dur_ns: 150,
+                    a: 0,
+                    b: 0,
+                },
+            ],
+            names: vec!["main".into()],
+            duration_ns: 1000,
+            ..Trace::default()
+        };
+        let lines = line_stats(&trace);
+        // line 1: 400-100; line 2: span end 1000 - 400.
+        assert_eq!(lines[&1], (1, 300));
+        assert_eq!(lines[&2], (1, 600));
+        // line 9 on tid 1: (250-150) + (300-250 via span end).
+        assert_eq!(lines[&9], (2, 150));
+        let text = report(&trace, None);
+        assert!(text.contains("top lines by self-time"));
+    }
+
+    #[test]
+    fn report_sections_present_even_when_empty() {
+        let text = report(&Trace::default(), None);
+        assert!(text.contains("lock contention"));
+        assert!(text.contains("gc pauses"));
+    }
+}

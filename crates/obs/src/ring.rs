@@ -1,0 +1,161 @@
+//! Per-thread lock-free ring buffers for trace events.
+//!
+//! Each OS thread that emits events owns one [`Ring`]: a fixed-size array
+//! of 4-word slots plus a monotonically increasing head counter. Only the
+//! owning thread writes; the head counter wraps over the slot array, so
+//! when a ring fills the oldest events are overwritten (and counted as
+//! dropped) rather than blocking or allocating.
+//!
+//! Rings are handed out via a `thread_local` keyed by the session
+//! generation, so a ring created in one session is never reused by the
+//! next. The session holds `Arc`s to every ring and snapshots them after
+//! the traced program has quiesced.
+
+use crate::event::Event;
+use crate::session;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of events retained per thread by default (~1 MiB per thread at
+/// 32 bytes per slot).
+pub const DEFAULT_EVENTS_PER_THREAD: usize = 1 << 15;
+
+/// One thread's event buffer. Written by its owner thread only.
+pub struct Ring {
+    /// 4 words per slot, `capacity * 4` entries.
+    slots: Vec<AtomicU64>,
+    capacity: usize,
+    /// Total events ever pushed; slot index is `head % capacity`.
+    head: AtomicU64,
+}
+
+impl Ring {
+    pub fn new(capacity: usize) -> Ring {
+        assert!(capacity > 0);
+        let mut slots = Vec::with_capacity(capacity * 4);
+        for _ in 0..capacity * 4 {
+            slots.push(AtomicU64::new(0));
+        }
+        Ring { slots, capacity, head: AtomicU64::new(0) }
+    }
+
+    /// Push one event. Owner thread only; wraps over the oldest slot when
+    /// full.
+    #[inline]
+    pub fn push(&self, event: &Event) {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = (head as usize % self.capacity) * 4;
+        let words = event.encode();
+        self.slots[slot].store(words[0], Ordering::Relaxed);
+        self.slots[slot + 1].store(words[1], Ordering::Relaxed);
+        self.slots[slot + 2].store(words[2], Ordering::Relaxed);
+        self.slots[slot + 3].store(words[3], Ordering::Relaxed);
+        // Release-publish the slot contents before advancing head.
+        self.head.store(head + 1, Ordering::Release);
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Events lost to wraparound.
+    pub fn dropped(&self) -> u64 {
+        self.pushed().saturating_sub(self.capacity as u64)
+    }
+
+    /// Copy out the retained events, oldest first. Call after the owner
+    /// thread has quiesced (e.g. post-join) for an exact snapshot.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let head = self.head.load(Ordering::Acquire);
+        let retained = (head as usize).min(self.capacity);
+        let start = head as usize - retained;
+        let mut out = Vec::with_capacity(retained);
+        for i in start..head as usize {
+            let slot = (i % self.capacity) * 4;
+            let words = [
+                self.slots[slot].load(Ordering::Relaxed),
+                self.slots[slot + 1].load(Ordering::Relaxed),
+                self.slots[slot + 2].load(Ordering::Relaxed),
+                self.slots[slot + 3].load(Ordering::Relaxed),
+            ];
+            if let Some(e) = Event::decode(words) {
+                out.push(e);
+            }
+        }
+        out
+    }
+}
+
+thread_local! {
+    /// (session generation, ring) for the current thread.
+    static LOCAL_RING: RefCell<Option<(u64, Arc<Ring>)>> = const { RefCell::new(None) };
+}
+
+/// Emit an event into the calling thread's ring for the current session.
+/// Creates and registers the ring on the thread's first emit of a session.
+#[inline]
+pub fn emit(event: Event) {
+    LOCAL_RING.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let generation = session::generation();
+        match slot.as_ref() {
+            Some((g, ring)) if *g == generation => ring.push(&event),
+            _ => {
+                if let Some(ring) = session::register_ring() {
+                    ring.push(&event);
+                    *slot = Some((generation, ring));
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(start: u64) -> Event {
+        Event { kind: EventKind::Stmt, tid: 1, start_ns: start, dur_ns: 0, a: 3, b: 0 }
+    }
+
+    #[test]
+    fn snapshot_before_wrap_is_in_order() {
+        let r = Ring::new(8);
+        for i in 0..5 {
+            r.push(&ev(i));
+        }
+        let events = r.snapshot();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events.iter().map(|e| e.start_ns).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn wraparound_keeps_newest() {
+        let r = Ring::new(4);
+        for i in 0..11 {
+            r.push(&ev(i));
+        }
+        let events = r.snapshot();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events.iter().map(|e| e.start_ns).collect::<Vec<_>>(), vec![7, 8, 9, 10]);
+        assert_eq!(r.pushed(), 11);
+        assert_eq!(r.dropped(), 7);
+    }
+
+    #[test]
+    fn exact_fill_boundary() {
+        let r = Ring::new(4);
+        for i in 0..4 {
+            r.push(&ev(i));
+        }
+        assert_eq!(r.snapshot().len(), 4);
+        assert_eq!(r.dropped(), 0);
+        r.push(&ev(4));
+        assert_eq!(r.snapshot().iter().map(|e| e.start_ns).collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+        assert_eq!(r.dropped(), 1);
+    }
+}

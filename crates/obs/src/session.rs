@@ -1,0 +1,225 @@
+//! Tracing session lifecycle: begin/end, the session clock, ring
+//! registration, and string interning.
+//!
+//! At most one session is active at a time (the CLI runs one program per
+//! process; tests serialize via [`begin`]/[`end`]). A generation counter
+//! invalidates thread-local ring handles from earlier sessions, so a
+//! pooled or long-lived thread never writes into a stale buffer.
+
+use crate::event::{Event, EventKind};
+use crate::metrics;
+use crate::ring::{Ring, DEFAULT_EVENTS_PER_THREAD};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Session configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Collect trace events.
+    pub trace: bool,
+    /// Collect metrics (counters/histograms). Independent of tracing.
+    pub metrics: bool,
+    /// Ring capacity per thread, in events.
+    pub events_per_thread: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { trace: true, metrics: true, events_per_thread: DEFAULT_EVENTS_PER_THREAD }
+    }
+}
+
+struct Active {
+    start_ns: u64,
+    events_per_thread: usize,
+    rings: Vec<Arc<Ring>>,
+}
+
+static ACTIVE: Mutex<Option<Active>> = Mutex::new(None);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Session start, as nanoseconds since the process epoch. Read on every
+/// timestamp; written only by `begin`.
+static SESSION_START_NS: AtomicU64 = AtomicU64::new(0);
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+fn epoch_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+/// Nanoseconds since the current session began.
+#[inline]
+pub fn elapsed_ns() -> u64 {
+    epoch_ns().saturating_sub(SESSION_START_NS.load(Ordering::Relaxed))
+}
+
+/// Current session generation; bumped by [`begin`] and [`end`].
+#[inline]
+pub fn generation() -> u64 {
+    GENERATION.load(Ordering::Acquire)
+}
+
+/// Start a session. Any prior session's unsnapshotted events are
+/// discarded.
+pub fn begin(config: Config) {
+    let mut active = ACTIVE.lock().unwrap();
+    GENERATION.fetch_add(1, Ordering::AcqRel);
+    SESSION_START_NS.store(epoch_ns(), Ordering::SeqCst);
+    metrics::reset();
+    *active = Some(Active {
+        start_ns: SESSION_START_NS.load(Ordering::SeqCst),
+        events_per_thread: config.events_per_thread.max(16),
+        rings: Vec::new(),
+    });
+    crate::set_enabled(config.trace, config.metrics);
+}
+
+/// Create and register a ring for the calling thread. Returns `None` when
+/// no session is active. Called once per thread per session (slow path of
+/// `ring::emit`).
+pub fn register_ring() -> Option<Arc<Ring>> {
+    let mut active = ACTIVE.lock().unwrap();
+    let state = active.as_mut()?;
+    let ring = Arc::new(Ring::new(state.events_per_thread));
+    state.rings.push(Arc::clone(&ring));
+    Some(ring)
+}
+
+/// Stop the session and collect everything emitted so far. For an exact
+/// snapshot, call after the traced program's threads have been joined.
+pub fn end() -> Trace {
+    crate::set_enabled(false, false);
+    GENERATION.fetch_add(1, Ordering::AcqRel);
+    let state = ACTIVE.lock().unwrap().take();
+    let Some(state) = state else {
+        return Trace::default();
+    };
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for ring in &state.rings {
+        dropped += ring.dropped();
+        events.extend(ring.snapshot());
+    }
+    events.sort_by_key(|e| (e.start_ns, e.tid));
+    Trace {
+        events,
+        names: interner_names(),
+        dropped_events: dropped,
+        duration_ns: epoch_ns().saturating_sub(state.start_ns),
+        metrics: metrics::snapshot(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String interning
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Interner {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+static INTERNER: Mutex<Option<Interner>> = Mutex::new(None);
+
+thread_local! {
+    /// Per-thread symbol cache so repeated interning of hot names (every
+    /// function call, every lock op) skips the global mutex.
+    static INTERN_CACHE: std::cell::RefCell<HashMap<String, u32>> =
+        std::cell::RefCell::new(HashMap::new());
+}
+
+/// Intern `name`, returning a stable symbol valid for the process
+/// lifetime.
+pub fn intern(name: &str) -> u32 {
+    INTERN_CACHE.with(|cache| {
+        if let Some(sym) = cache.borrow().get(name) {
+            return *sym;
+        }
+        let mut guard = INTERNER.lock().unwrap();
+        let interner = guard.get_or_insert_with(Interner::default);
+        let sym = match interner.map.get(name) {
+            Some(s) => *s,
+            None => {
+                let s = interner.names.len() as u32;
+                interner.names.push(name.to_string());
+                interner.map.insert(name.to_string(), s);
+                s
+            }
+        };
+        cache.borrow_mut().insert(name.to_string(), sym);
+        sym
+    })
+}
+
+fn interner_names() -> Vec<String> {
+    INTERNER.lock().unwrap().as_ref().map(|i| i.names.clone()).unwrap_or_default()
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+// ---------------------------------------------------------------------------
+
+/// Everything one session collected: merged, time-sorted events plus the
+/// symbol table and metrics snapshot needed to interpret them.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    /// All retained events, sorted by start time.
+    pub events: Vec<Event>,
+    /// Symbol table; event payloads holding symbols index into this.
+    pub names: Vec<String>,
+    /// Events lost to ring wraparound across all threads.
+    pub dropped_events: u64,
+    /// Wall-clock length of the session.
+    pub duration_ns: u64,
+    /// Metrics captured at session end.
+    pub metrics: metrics::Snapshot,
+}
+
+impl Trace {
+    /// Resolve an interned symbol.
+    pub fn name(&self, sym: u32) -> &str {
+        self.names.get(sym as usize).map(String::as_str).unwrap_or("?")
+    }
+
+    /// Tetra thread ids present in the trace, with display names taken
+    /// from `ThreadSpan` events (falling back to `thread-<id>`).
+    pub fn thread_names(&self) -> BTreeMap<u32, String> {
+        let mut out = BTreeMap::new();
+        for e in &self.events {
+            out.entry(e.tid).or_insert_with(|| {
+                if e.tid == 0 {
+                    "main".to_string()
+                } else if e.tid == crate::GC_TID {
+                    "gc".to_string()
+                } else {
+                    format!("thread-{}", e.tid)
+                }
+            });
+        }
+        for e in &self.events {
+            if e.kind == EventKind::ThreadSpan {
+                out.insert(e.tid, self.name(e.a).to_string());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable_and_cached() {
+        let a = intern("alpha-session-test");
+        let b = intern("beta-session-test");
+        assert_ne!(a, b);
+        assert_eq!(intern("alpha-session-test"), a);
+    }
+}

@@ -312,10 +312,9 @@ impl Parser {
                     let hi = self.expr()?;
                     let rb = self.expect(&TokenKind::RBracket)?;
                     let rspan = span.to(rb.span);
-                    return Ok(self.mk(
-                        ExprKind::Range { lo: Box::new(first), hi: Box::new(hi) },
-                        rspan,
-                    ));
+                    return Ok(
+                        self.mk(ExprKind::Range { lo: Box::new(first), hi: Box::new(hi) }, rspan)
+                    );
                 }
                 let mut items = vec![first];
                 while self.eat(&TokenKind::Comma) {
@@ -347,8 +346,7 @@ impl Parser {
                 let rb = self.expect(&TokenKind::RBrace)?;
                 Ok(self.mk(ExprKind::Dict(pairs), span.to(rb.span)))
             }
-            other => Err(self
-                .error(format!("expected an expression, found {}", other.describe()))),
+            other => Err(self.error(format!("expected an expression, found {}", other.describe()))),
         }
     }
 }

@@ -302,9 +302,8 @@ def main():
 
     #[test]
     fn assert_with_and_without_message() {
-        let stmts = main_body(
-            "def main():\n    assert x > 0\n    assert x > 0, \"x must be positive\"\n",
-        );
+        let stmts =
+            main_body("def main():\n    assert x > 0\n    assert x > 0, \"x must be positive\"\n");
         assert!(matches!(stmts[0].kind, StmtKind::Assert { message: None, .. }));
         assert!(matches!(stmts[1].kind, StmtKind::Assert { message: Some(_), .. }));
     }
@@ -379,8 +378,7 @@ def main():
 ";
         let p1 = parse(src).unwrap();
         let printed = pretty::to_source(&p1);
-        let p2 = parse(&printed)
-            .unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("re-parse failed: {e}\n---\n{printed}"));
         // Compare pretty-printed forms (spans and ids differ).
         assert_eq!(printed, pretty::to_source(&p2));
     }

@@ -108,23 +108,15 @@ impl Parser {
                             format!("function `{}` is defined more than once", f.name),
                             f.span,
                         )
-                        .with_help(format!(
-                            "the first definition is at line {}",
-                            prev.span.line
-                        )));
+                        .with_help(format!("the first definition is at line {}", prev.span.line)));
                     }
                     funcs.push(f);
                 }
-                other => {
-                    return Err(self
-                        .error(format!(
-                            "expected a function definition, found {}",
-                            other.describe()
-                        ))
-                        .with_help(
-                            "Tetra programs are lists of `def` functions; execution starts at main()",
-                        ))
-                }
+                other => return Err(self
+                    .error(format!("expected a function definition, found {}", other.describe()))
+                    .with_help(
+                        "Tetra programs are lists of `def` functions; execution starts at main()",
+                    )),
             }
         }
         Ok(Program { funcs, node_count: self.next_id })
@@ -309,19 +301,14 @@ impl Parser {
                 self.bump();
                 self.expect(&TokenKind::Colon)?;
                 let body = self.block()?;
-                self.expect(&TokenKind::Catch).map_err(|d| {
-                    d.with_help("every `try:` needs a `catch <name>:` clause")
-                })?;
+                self.expect(&TokenKind::Catch)
+                    .map_err(|d| d.with_help("every `try:` needs a `catch <name>:` clause"))?;
                 let (err_name, _) = self.expect_ident("an error variable name")?;
                 self.expect(&TokenKind::Colon)?;
                 let handler = self.block()?;
                 let err_id = self.fresh();
                 let id = self.fresh();
-                Ok(Stmt {
-                    kind: StmtKind::Try { body, err_name, err_id, handler },
-                    span,
-                    id,
-                })
+                Ok(Stmt { kind: StmtKind::Try { body, err_name, err_id, handler }, span, id })
             }
             TokenKind::Catch => Err(self
                 .error("`catch` without a preceding `try:` block")
@@ -354,8 +341,7 @@ impl Parser {
             TokenKind::Assert => {
                 self.bump();
                 let cond = self.expr()?;
-                let message =
-                    if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
+                let message = if self.eat(&TokenKind::Comma) { Some(self.expr()?) } else { None };
                 self.expect(&TokenKind::Newline)?;
                 let id = self.fresh();
                 Ok(Stmt { kind: StmtKind::Assert { cond, message }, span, id })
@@ -453,12 +439,8 @@ impl Parser {
             ExprKind::Index { base, index } => {
                 Ok(Target::Index { base: *base, index: *index, span: e.span, id: e.id })
             }
-            _ => Err(Diagnostic::new(
-                Stage::Parse,
-                "invalid assignment target",
-                e.span,
-            )
-            .with_help("only variables and element accesses like `a[i]` can be assigned to")),
+            _ => Err(Diagnostic::new(Stage::Parse, "invalid assignment target", e.span)
+                .with_help("only variables and element accesses like `a[i]` can be assigned to")),
         }
     }
 }

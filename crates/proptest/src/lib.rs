@@ -1,0 +1,768 @@
+//! API-compatible subset of the `proptest` crate for offline builds.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the property-testing surface the workspace uses: the [`proptest!`]
+//! macro, the [`Strategy`] trait with `prop_map` / `prop_recursive` /
+//! `boxed`, [`prop_oneof!`], `prop::collection::vec`, integer-range and
+//! simplified string-pattern strategies, and `prop_assert!` /
+//! `prop_assert_eq!` / [`TestCaseError`].
+//!
+//! Differences from real proptest:
+//!
+//! * **no shrinking** — a failing case reports the generated input
+//!   verbatim instead of a minimized one;
+//! * **deterministic seeding** — each test derives its RNG seed from the
+//!   test name, so failures reproduce across runs without a regressions
+//!   file;
+//! * string strategies implement only the pattern subset used here
+//!   (`\PC`, character classes, `{m,n}` / `*` / `+` quantifiers).
+
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic xoshiro256++ used to drive generation.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn seeded(seed: u64) -> TestRng {
+        let mut s0 = seed ^ 0xA076_1D64_78BD_642F;
+        TestRng {
+            s: [splitmix64(&mut s0), splitmix64(&mut s0), splitmix64(&mut s0), splitmix64(&mut s0)],
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    pub fn int_in(&mut self, lo: i128, hi_exclusive: i128) -> i128 {
+        debug_assert!(lo < hi_exclusive);
+        let span = (hi_exclusive - lo) as u128;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+}
+
+/// FNV-1a hash of the test name: the per-test base seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Errors and config
+// ---------------------------------------------------------------------------
+
+/// A test-case failure (the error side of fallible property bodies).
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    pub message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+
+    /// Proptest's `Fail` constructor alias.
+    pub fn reject(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration (`cases` is the only knob the workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| self.generate(rng)))
+    }
+
+    /// Recursive strategies: `recurse` receives a strategy for the levels
+    /// below and builds one level above it. `depth` bounds recursion; the
+    /// `desired_size`/`expected_branch_size` hints are accepted for
+    /// compatibility but unused (no shrinking, no size targeting).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            let leaf = base.clone();
+            // Each level flips between staying a leaf and recursing, so
+            // every depth (including plain leaves) stays reachable at the
+            // top level.
+            current = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                if rng.next_u64() & 1 == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            }));
+        }
+        current
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> fmt::Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> T + 'static) -> BoxedStrategy<T> {
+        BoxedStrategy(Rc::new(f))
+    }
+
+    /// Uniform choice between alternatives (the engine of [`prop_oneof!`]).
+    pub fn union(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+            let i = rng.below(options.len() as u64) as usize;
+            options[i].generate(rng)
+        }))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `any::<T>()`: the full domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Types with a full-domain generator.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// ---- integer range strategies ---------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy over an empty range");
+                rng.int_in(self.start as i128, self.end as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy over an empty range");
+                rng.int_in(lo as i128, hi as i128 + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---- tuple strategies ------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ---- collection strategies -------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Sizes accepted by [`vec`].
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "vec strategy over an empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    /// A vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- string pattern strategies ---------------------------------------------
+
+/// One parsed regex-subset atom with its repetition bounds.
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `\PC`: any non-control scalar value.
+    Printable,
+    /// `[a-z0-9_]`-style class, expanded to candidate chars.
+    Class(Vec<char>),
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Piece> {
+    let mut pieces = Vec::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '\\' => {
+                // Only the escapes this workspace uses: \PC, plus literal
+                // escapes of regex metacharacters.
+                if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                    i += 3;
+                    Atom::Printable
+                } else {
+                    let c = *chars.get(i + 1).unwrap_or(&'\\');
+                    i += 2;
+                    Atom::Literal(c)
+                }
+            }
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        for c in lo..=hi {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                i += 1; // closing ]
+                assert!(!set.is_empty(), "empty character class in `{pattern}`");
+                Atom::Class(set)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|c| *c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed {{ in `{pattern}`"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 16)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 16)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn random_printable(rng: &mut TestRng) -> char {
+    loop {
+        let c = match rng.below(10) {
+            // Mostly ASCII, with a tail of wider unicode to stress the
+            // lexer's multi-byte handling.
+            0..=6 => (0x20 + rng.below(0x5F) as u32) as u8 as char,
+            7 | 8 => match char::from_u32(0xA0 + rng.below(0x2000) as u32) {
+                Some(c) => c,
+                None => continue,
+            },
+            _ => match char::from_u32(0x1_F300 + rng.below(0x200) as u32) {
+                Some(c) => c,
+                None => continue,
+            },
+        };
+        if !c.is_control() {
+            return c;
+        }
+    }
+}
+
+/// A strategy compiled from a string pattern (the proptest regex syntax
+/// subset described in the module docs).
+pub struct PatternStrategy {
+    pieces: Vec<Piece>,
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in &self.pieces {
+            let n = if piece.max > piece.min {
+                piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize
+            } else {
+                piece.min
+            };
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Printable => out.push(random_printable(rng)),
+                    Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Compiling per call keeps `&str` itself the strategy (as in real
+        // proptest); patterns here are tiny.
+        PatternStrategy { pieces: parse_pattern(self) }.generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::BoxedStrategy::union(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` / with a trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}", l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n{}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `body` for `config.cases` generated
+/// inputs; the failing input is printed on the first failure (no
+/// shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property_test(
+                    stringify!($name),
+                    config.cases,
+                    |__rng| {
+                        let __values = ($($crate::Strategy::generate(&($strategy), __rng),)+);
+                        let __described = format!("{:?}", __values);
+                        let ($($pat,)+) = __values;
+                        let __outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                        (__described, __outcome)
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$attr])*
+                fn $name($($pat in $strategy),+) $body
+            )*
+        }
+    };
+}
+
+/// Test-runner loop behind [`proptest!`] (public for the macro, not API).
+pub fn run_property_test(
+    name: &str,
+    cases: u32,
+    mut one_case: impl FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+) {
+    let base = seed_from_name(name);
+    for case in 0..cases {
+        let mut rng = TestRng::seeded(base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let described = std::cell::RefCell::new(String::new());
+        let outcome = {
+            let described = &described;
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let (desc, result) = one_case(&mut rng);
+                *described.borrow_mut() = desc;
+                result
+            }))
+        };
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => {
+                panic!(
+                    "proptest `{name}` failed at case {case}/{cases}: {e}\n\
+                     input: {}",
+                    described.borrow()
+                );
+            }
+            Err(panic_payload) => {
+                eprintln!(
+                    "proptest `{name}` panicked at case {case}/{cases}\ninput: {}",
+                    described.borrow()
+                );
+                std::panic::resume_unwind(panic_payload);
+            }
+        }
+    }
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirrors proptest's `prelude::prop` module facade.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, n in 0usize..10) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!(n < 10);
+        }
+
+        #[test]
+        fn vec_sizes_respected(v in prop::collection::vec(0u8..255, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+        }
+
+        #[test]
+        fn string_class_pattern(s in "[a-z]{0,12}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn printable_pattern_has_no_controls(s in "\\PC{0,40}") {
+            prop_assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_generate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(i64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn depth(t: &Tree) -> u32 {
+            match t {
+                Tree::Leaf(_) => 0,
+                Tree::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = prop_oneof![(0i64..5).prop_map(Tree::Leaf), Just(Tree::Leaf(-1))];
+        let strat = leaf.prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::TestRng::seeded(7);
+        let mut saw_node = false;
+        let mut saw_leaf = false;
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            assert!(depth(&t) <= 3, "{t:?}");
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((-1..5).contains(&v), "leaf out of range: {v}");
+                    saw_leaf = true;
+                }
+                Tree::Node(..) => saw_node = true,
+            }
+        }
+        assert!(saw_leaf && saw_node);
+    }
+
+    #[test]
+    fn failures_report_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_property_test("always_fails", 3, |rng| {
+                let v = rng.next_u64();
+                (format!("{v}"), Err(crate::TestCaseError::fail("nope")))
+            });
+        });
+        assert!(result.is_err());
+    }
+}

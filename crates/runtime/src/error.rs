@@ -82,7 +82,13 @@ impl RuntimeError {
 impl std::fmt::Display for RuntimeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         if self.line > 0 {
-            write!(f, "runtime error at line {}: {} ({})", self.line, self.message, self.kind.label())
+            write!(
+                f,
+                "runtime error at line {}: {} ({})",
+                self.line,
+                self.message,
+                self.kind.label()
+            )
         } else {
             write!(f, "runtime error: {} ({})", self.message, self.kind.label())
         }

@@ -35,6 +35,12 @@ use std::collections::HashMap;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Ceiling conversion so any nonzero pause registers as at least 1µs.
+fn ns_to_us_ceil(ns: u64) -> u64 {
+    ns.div_ceil(1000)
+}
 
 /// Tunables for the collector.
 #[derive(Debug, Clone)]
@@ -66,6 +72,11 @@ pub struct GcStats {
     pub objects_freed: u64,
     pub live_objects: u64,
     pub live_bytes: u64,
+    /// Total stop-the-world pause time, microseconds (rounded up so any
+    /// real collection registers as at least 1µs).
+    pub pause_total_us: u64,
+    /// Longest single pause, microseconds (rounded up likewise).
+    pub pause_max_us: u64,
 }
 
 /// Sink filled by a [`RootSource`]: direct values plus shared frames that
@@ -147,6 +158,8 @@ pub struct Heap {
     allocations: AtomicU64,
     collections: AtomicU64,
     objects_freed: AtomicU64,
+    pause_ns_total: AtomicU64,
+    pause_ns_max: AtomicU64,
 }
 
 // SAFETY: the raw pointers in `objects` are only dereferenced under the
@@ -169,6 +182,8 @@ impl Heap {
             allocations: AtomicU64::new(0),
             collections: AtomicU64::new(0),
             objects_freed: AtomicU64::new(0),
+            pause_ns_total: AtomicU64::new(0),
+            pause_ns_max: AtomicU64::new(0),
         })
     }
 
@@ -316,6 +331,8 @@ impl Heap {
             objects_freed: self.objects_freed.load(Ordering::Relaxed),
             live_objects: self.objects.lock().len() as u64,
             live_bytes: self.bytes.load(Ordering::Relaxed) as u64,
+            pause_total_us: ns_to_us_ceil(self.pause_ns_total.load(Ordering::Relaxed)),
+            pause_max_us: ns_to_us_ceil(self.pause_ns_max.load(Ordering::Relaxed)),
         }
     }
 
@@ -375,6 +392,11 @@ impl Heap {
         }
         ctrl.gc_requested = true;
         self.gc_flag.store(true, Ordering::Release);
+        // Pause accounting always runs (it feeds GcStats); the obs spans
+        // below are no-ops without an active tracing session.
+        let collection = self.collections.load(Ordering::Relaxed) as u32 + 1;
+        let pause_start = Instant::now();
+        let obs_pause = tetra_obs::now_ns();
         {
             let slot = ctrl.slots.get_mut(&m.id).expect("mutator deregistered");
             slot.parked = true;
@@ -382,11 +404,14 @@ impl Heap {
             slot.frames = sink.frames;
         }
         // Wait for every other mutator to park or block in a safe region.
+        let obs_stw = tetra_obs::now_ns();
         while ctrl.slots.iter().any(|(id, s)| *id != m.id && !s.parked && !s.safe_region) {
             self.cv_mutators.wait(&mut ctrl);
         }
+        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::StwWait, collection, obs_stw);
 
         // ---- world is stopped: mark ----
+        let obs_mark = tetra_obs::now_ns();
         let mut worklist: Vec<Value> = Vec::new();
         let mut seen_frames = std::collections::HashSet::new();
         for slot in ctrl.slots.values() {
@@ -405,7 +430,10 @@ impl Heap {
             }
         }
 
+        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::Mark, collection, obs_mark);
+
         // ---- sweep ----
+        let obs_sweep = tetra_obs::now_ns();
         let mut freed = 0u64;
         let mut freed_bytes = 0usize;
         {
@@ -429,6 +457,11 @@ impl Heap {
         self.threshold.store((live * 2).max(self.min_threshold), Ordering::Relaxed);
         self.objects_freed.fetch_add(freed, Ordering::Relaxed);
         self.collections.fetch_add(1, Ordering::Relaxed);
+        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::Sweep, collection, obs_sweep);
+        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::Pause, collection, obs_pause);
+        let pause_ns = pause_start.elapsed().as_nanos() as u64;
+        self.pause_ns_total.fetch_add(pause_ns, Ordering::Relaxed);
+        self.pause_ns_max.fetch_max(pause_ns, Ordering::Relaxed);
 
         // ---- resume the world ----
         ctrl.gc_requested = false;
@@ -614,11 +647,8 @@ mod tests {
 
     #[test]
     fn threshold_triggers_automatic_collection() {
-        let heap = Heap::new(HeapConfig {
-            initial_threshold: 4096,
-            min_threshold: 1024,
-            stress: false,
-        });
+        let heap =
+            Heap::new(HeapConfig { initial_threshold: 4096, min_threshold: 1024, stress: false });
         let m = heap.register_mutator();
         for i in 0..1000 {
             let _ = heap.alloc_str(&m, &NoRoots, format!("string number {i} with padding"));

@@ -26,8 +26,9 @@ use std::sync::Arc;
 
 #[derive(Default)]
 struct LockState {
-    /// lock name → (holding thread, line of the `lock` statement).
-    holders: HashMap<String, (u32, u32)>,
+    /// lock name → (holding thread, line of the `lock` statement,
+    /// session timestamp of acquisition for hold-time tracing).
+    holders: HashMap<String, (u32, u32, u64)>,
     /// thread → lock name it is currently blocked on.
     waiting: HashMap<u32, String>,
 }
@@ -71,10 +72,11 @@ impl LockRegistry {
     ///
     /// Callers must wrap this in a GC safe region: it blocks.
     pub fn acquire(&self, tid: u32, name: &str, line: u32) -> Result<(), RuntimeError> {
+        let wait_start = tetra_obs::metric_now_ns();
         let detect = self.detect.load(Ordering::Relaxed);
         let mut st = self.state.lock();
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if let Some(&(owner, owner_line)) = st.holders.get(name) {
+        if let Some(&(owner, owner_line, _)) = st.holders.get(name) {
             if owner == tid {
                 return Err(RuntimeError::new(
                     ErrorKind::LockReentry,
@@ -106,23 +108,26 @@ impl LockRegistry {
         if blocked {
             self.contended.fetch_add(1, Ordering::Relaxed);
         }
-        st.holders.insert(name.to_string(), (tid, line));
+        tetra_obs::lock_wait(tid, name, line, wait_start);
+        st.holders.insert(name.to_string(), (tid, line, tetra_obs::metric_now_ns()));
         Ok(())
     }
 
     /// Release `name`; the thread must currently hold it.
     pub fn release(&self, tid: u32, name: &str) {
         let mut st = self.state.lock();
-        match st.holders.get(name) {
-            Some(&(owner, _)) if owner == tid => {
+        let acquired_at = match st.holders.get(name) {
+            Some(&(owner, _, acquired_at)) if owner == tid => {
                 st.holders.remove(name);
+                acquired_at
             }
             other => {
                 debug_assert!(false, "release of `{name}` by {tid}, holder {other:?}");
                 return;
             }
-        }
+        };
         drop(st);
+        tetra_obs::lock_hold(tid, name, acquired_at);
         self.cv.notify_all();
     }
 
@@ -133,7 +138,7 @@ impl LockRegistry {
         let mut names: Vec<String> = st
             .holders
             .iter()
-            .filter(|(_, (owner, _))| *owner == tid)
+            .filter(|(_, (owner, _, _))| *owner == tid)
             .map(|(name, _)| name.clone())
             .collect();
         names.sort();
@@ -147,15 +152,12 @@ impl LockRegistry {
 
     /// Current holder of `name`, if held (debugger display).
     pub fn holder_of(&self, name: &str) -> Option<u32> {
-        self.state.lock().holders.get(name).map(|&(tid, _)| tid)
+        self.state.lock().holders.get(name).map(|&(tid, _, _)| tid)
     }
 
     /// (total acquisitions, contended acquisitions).
     pub fn contention_stats(&self) -> (u64, u64) {
-        (
-            self.acquisitions.load(Ordering::Relaxed),
-            self.contended.load(Ordering::Relaxed),
-        )
+        (self.acquisitions.load(Ordering::Relaxed), self.contended.load(Ordering::Relaxed))
     }
 }
 
@@ -168,7 +170,7 @@ fn find_cycle(st: &LockState, tid: u32, want: &str) -> Option<Vec<(u32, String)>
     let mut cycle = vec![(tid, want.to_string())];
     let mut current = want.to_string();
     loop {
-        let &(owner, _) = st.holders.get(&current)?;
+        let &(owner, _, _) = st.holders.get(&current)?;
         if owner == tid {
             return Some(cycle);
         }
@@ -182,10 +184,8 @@ fn find_cycle(st: &LockState, tid: u32, want: &str) -> Option<Vec<(u32, String)>
 }
 
 fn describe_cycle(cycle: &[(u32, String)]) -> String {
-    let parts: Vec<String> = cycle
-        .iter()
-        .map(|(tid, lock)| format!("thread {tid} waits for lock `{lock}`"))
-        .collect();
+    let parts: Vec<String> =
+        cycle.iter().map(|(tid, lock)| format!("thread {tid} waits for lock `{lock}`")).collect();
     format!("{} — completing a cycle", parts.join(", which is held by a thread where "))
 }
 

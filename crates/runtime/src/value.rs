@@ -88,9 +88,7 @@ impl Value {
             (Value::None, Value::None) => true,
             (Value::Int(a), Value::Int(b)) => a == b,
             (Value::Real(a), Value::Real(b)) => a == b,
-            (Value::Int(a), Value::Real(b)) | (Value::Real(b), Value::Int(a)) => {
-                *a as f64 == *b
-            }
+            (Value::Int(a), Value::Real(b)) | (Value::Real(b), Value::Int(a)) => *a as f64 == *b,
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Obj(a), Value::Obj(b)) => {
                 if a.ptr == b.ptr {
@@ -99,22 +97,18 @@ impl Value {
                 match (a.object(), b.object()) {
                     (Object::Str(x), Object::Str(y)) => x == y,
                     (Object::Tuple(x), Object::Tuple(y)) => {
-                        x.len() == y.len()
-                            && x.iter().zip(y.iter()).all(|(u, v)| u.tetra_eq(v))
+                        x.len() == y.len() && x.iter().zip(y.iter()).all(|(u, v)| u.tetra_eq(v))
                     }
                     (Object::Array(x), Object::Array(y)) => {
                         let x = x.lock();
                         let y = y.lock();
-                        x.len() == y.len()
-                            && x.iter().zip(y.iter()).all(|(u, v)| u.tetra_eq(v))
+                        x.len() == y.len() && x.iter().zip(y.iter()).all(|(u, v)| u.tetra_eq(v))
                     }
                     (Object::Dict(x), Object::Dict(y)) => {
                         let x = x.lock();
                         let y = y.lock();
                         x.len() == y.len()
-                            && x.iter().all(|(k, v)| {
-                                y.get(k).is_some_and(|w| v.tetra_eq(w))
-                            })
+                            && x.iter().all(|(k, v)| y.get(k).is_some_and(|w| v.tetra_eq(w)))
                     }
                     _ => false,
                 }

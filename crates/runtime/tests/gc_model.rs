@@ -70,9 +70,7 @@ fn check(values: &[Value], models: &[Model]) {
             }
             Model::Array(elems) => {
                 let Value::Obj(r) = v else { panic!("array root lost its object") };
-                let Object::Array(items) = r.object() else {
-                    panic!("array root changed type")
-                };
+                let Object::Array(items) = r.object() else { panic!("array root changed type") };
                 let items = items.lock();
                 assert_eq!(items.len(), elems.len(), "array length corrupted");
                 for (item, elem) in items.iter().zip(elems) {
@@ -101,11 +99,7 @@ fn check(values: &[Value], models: &[Model]) {
 }
 
 fn run_ops(ops: &[Op], stress: bool) {
-    let heap = Heap::new(HeapConfig {
-        initial_threshold: 1 << 12,
-        min_threshold: 1 << 10,
-        stress,
-    });
+    let heap = Heap::new(HeapConfig { initial_threshold: 1 << 12, min_threshold: 1 << 10, stress });
     let m = heap.register_mutator();
     let mut values: Vec<Value> = Vec::new();
     let mut models: Vec<Model> = Vec::new();
@@ -121,11 +115,8 @@ fn run_ops(ops: &[Op], stress: bool) {
             }
             Op::Garbage(seed) => {
                 counter += 1;
-                let _ = heap.alloc_str(
-                    &m,
-                    &Roots(values.clone()),
-                    format!("garbage-{seed}-{counter}"),
-                );
+                let _ =
+                    heap.alloc_str(&m, &Roots(values.clone()), format!("garbage-{seed}-{counter}"));
             }
             Op::KeepArrayOfRoots => {
                 let contents: Vec<Value> = values.clone();
@@ -210,5 +201,31 @@ fn model_smoke() {
             Op::Collect,
         ],
         true,
+    );
+}
+
+/// Forcing collections must record wall-clock pause time: `pause_total_us`
+/// and `pause_max_us` round up to at least 1µs per real collection, so both
+/// are nonzero whenever `collections` is.
+#[test]
+fn collections_record_pause_times() {
+    let heap =
+        Heap::new(HeapConfig { initial_threshold: 1 << 12, min_threshold: 1 << 10, stress: false });
+    let m = heap.register_mutator();
+    let mut roots: Vec<Value> = Vec::new();
+    for i in 0..64 {
+        let v = heap.alloc_str(&m, &Roots(roots.clone()), format!("pause-{i}"));
+        roots.push(v);
+    }
+    for _ in 0..4 {
+        heap.collect_now(&m, &Roots(roots.clone()));
+    }
+    let stats = heap.stats();
+    assert!(stats.collections >= 4, "collect_now must count: {stats:?}");
+    assert!(stats.pause_total_us > 0, "total GC pause time must be recorded: {stats:?}");
+    assert!(stats.pause_max_us > 0, "max GC pause time must be recorded: {stats:?}");
+    assert!(
+        stats.pause_total_us >= stats.pause_max_us,
+        "total pause must dominate the max single pause: {stats:?}"
     );
 }

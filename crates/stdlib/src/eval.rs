@@ -8,8 +8,8 @@ use crate::registry::Builtin;
 use std::sync::Arc;
 use std::time::Instant;
 use tetra_runtime::{
-    ConsoleRef, DictKey, ErrorKind, Heap, MutatorGuard, Object, RootSink, RootSource,
-    RuntimeError, ThreadCell, ThreadState, Value,
+    ConsoleRef, DictKey, ErrorKind, Heap, MutatorGuard, Object, RootSink, RootSource, RuntimeError,
+    ThreadCell, ThreadState, Value,
 };
 
 /// Everything a builtin needs from its host engine.
@@ -104,12 +104,8 @@ fn cmp_values(a: &Value, b: &Value) -> std::cmp::Ordering {
     match (a, b) {
         (Value::Int(x), Value::Int(y)) => x.cmp(y),
         (Value::Real(x), Value::Real(y)) => x.partial_cmp(y).unwrap_or(Ordering::Equal),
-        (Value::Int(x), Value::Real(y)) => {
-            (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal)
-        }
-        (Value::Real(x), Value::Int(y)) => {
-            x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal)
-        }
+        (Value::Int(x), Value::Real(y)) => (*x as f64).partial_cmp(y).unwrap_or(Ordering::Equal),
+        (Value::Real(x), Value::Int(y)) => x.partial_cmp(&(*y as f64)).unwrap_or(Ordering::Equal),
         _ => match (a.as_str(), b.as_str()) {
             (Some(x), Some(y)) => x.cmp(y),
             _ => Ordering::Equal,
@@ -140,9 +136,10 @@ fn read_parsed<T: std::str::FromStr>(ctx: &HostCtx, what: &str) -> Result<T, Run
             format!("end of input while reading {what}"),
             ctx.line,
         )),
-        Some(line) => line.trim().parse::<T>().map_err(|_| {
-            verr(ctx, format!("could not read {what} from input `{}`", line.trim()))
-        }),
+        Some(line) => line
+            .trim()
+            .parse::<T>()
+            .map_err(|_| verr(ctx, format!("could not read {what} from input `{}`", line.trim()))),
     }
 }
 
@@ -164,11 +161,17 @@ pub fn call_builtin(b: Builtin, ctx: &HostCtx, args: &[Value]) -> Result<Value, 
         ReadInt => read_parsed::<i64>(ctx, "an integer").map(Value::Int),
         ReadReal => read_parsed::<f64>(ctx, "a real").map(Value::Real),
         ReadString => match blocking_read(ctx) {
-            None => Err(RuntimeError::new(ErrorKind::Io, "end of input while reading a string", ctx.line)),
+            None => Err(RuntimeError::new(
+                ErrorKind::Io,
+                "end of input while reading a string",
+                ctx.line,
+            )),
             Some(line) => Ok(ctx.heap.alloc_str(ctx.mutator, ctx.roots, line)),
         },
         ReadBool => match blocking_read(ctx) {
-            None => Err(RuntimeError::new(ErrorKind::Io, "end of input while reading a bool", ctx.line)),
+            None => {
+                Err(RuntimeError::new(ErrorKind::Io, "end of input while reading a bool", ctx.line))
+            }
             Some(line) => match line.trim() {
                 "true" => Ok(Value::Bool(true)),
                 "false" => Ok(Value::Bool(false)),
@@ -308,8 +311,7 @@ pub fn call_builtin(b: Builtin, ctx: &HostCtx, args: &[Value]) -> Result<Value, 
             if start < 0 || count < 0 {
                 return Err(verr(ctx, "substr start and length must be non-negative"));
             }
-            let sub: String =
-                s.chars().skip(start as usize).take(count as usize).collect();
+            let sub: String = s.chars().skip(start as usize).take(count as usize).collect();
             Ok(ctx.heap.alloc_str(ctx.mutator, ctx.roots, sub))
         }
         Find => {
@@ -362,12 +364,10 @@ pub fn call_builtin(b: Builtin, ctx: &HostCtx, args: &[Value]) -> Result<Value, 
             let out = s.replace(from, to);
             Ok(ctx.heap.alloc_str(ctx.mutator, ctx.roots, out))
         }
-        StartsWith => Ok(Value::Bool(
-            string(ctx, b, &args[0])?.starts_with(string(ctx, b, &args[1])?),
-        )),
-        EndsWith => Ok(Value::Bool(
-            string(ctx, b, &args[0])?.ends_with(string(ctx, b, &args[1])?),
-        )),
+        StartsWith => {
+            Ok(Value::Bool(string(ctx, b, &args[0])?.starts_with(string(ctx, b, &args[1])?)))
+        }
+        EndsWith => Ok(Value::Bool(string(ctx, b, &args[0])?.ends_with(string(ctx, b, &args[1])?))),
 
         // ---- arrays ----
         Append => {
@@ -498,9 +498,7 @@ pub fn call_builtin(b: Builtin, ctx: &HostCtx, args: &[Value]) -> Result<Value, 
             if n < 0 {
                 return Err(verr(ctx, format!("fill length must be non-negative, got {n}")));
             }
-            Ok(ctx
-                .heap
-                .alloc_array(ctx.mutator, ctx.roots, vec![args[1]; n as usize]))
+            Ok(ctx.heap.alloc_array(ctx.mutator, ctx.roots, vec![args[1]; n as usize]))
         }
 
         // ---- dicts ----
@@ -538,15 +536,11 @@ pub fn call_builtin(b: Builtin, ctx: &HostCtx, args: &[Value]) -> Result<Value, 
             Ok(ctx.heap.alloc_array(ctx.mutator, ctx.roots, vals))
         }
         HasKey => {
-            let key = args[1]
-                .to_dict_key()
-                .ok_or_else(|| internal(ctx, b, "unhashable key"))?;
+            let key = args[1].to_dict_key().ok_or_else(|| internal(ctx, b, "unhashable key"))?;
             Ok(Value::Bool(dict_ref(ctx, b, &args[0])?.lock().contains_key(&key)))
         }
         RemoveKey => {
-            let key = args[1]
-                .to_dict_key()
-                .ok_or_else(|| internal(ctx, b, "unhashable key"))?;
+            let key = args[1].to_dict_key().ok_or_else(|| internal(ctx, b, "unhashable key"))?;
             Ok(Value::Bool(dict_ref(ctx, b, &args[0])?.lock().remove(&key).is_some()))
         }
 
@@ -684,10 +678,7 @@ mod tests {
         ));
         assert!(matches!(h.call(Builtin::Floor, &[Value::Real(2.9)]), Ok(Value::Int(2))));
         assert!(matches!(h.call(Builtin::Ceil, &[Value::Real(2.1)]), Ok(Value::Int(3))));
-        assert!(matches!(
-            h.call(Builtin::Min, &[Value::Int(3), Value::Int(7)]),
-            Ok(Value::Int(3))
-        ));
+        assert!(matches!(h.call(Builtin::Min, &[Value::Int(3), Value::Int(7)]), Ok(Value::Int(3))));
         assert!(matches!(
             h.call(Builtin::Max, &[Value::Int(3), Value::Real(7.5)]),
             Ok(Value::Real(x)) if x == 7.5
@@ -739,9 +730,7 @@ mod tests {
         let joined = h.call(Builtin::Join, &[parts, sep2]).unwrap();
         assert_eq!(joined.as_str(), Some("a-b-c"));
         let s = h.str_val("abcdef");
-        let sub = h
-            .call(Builtin::Substr, &[s, Value::Int(2), Value::Int(3)])
-            .unwrap();
+        let sub = h.call(Builtin::Substr, &[s, Value::Int(2), Value::Int(3)]).unwrap();
         assert_eq!(sub.as_str(), Some("cde"));
     }
 
@@ -755,14 +744,8 @@ mod tests {
         assert_eq!(a.display(), "[1, 2, 3, 9]");
         h.call(Builtin::Reverse, &[a]).unwrap();
         assert_eq!(a.display(), "[9, 3, 2, 1]");
-        assert!(matches!(
-            h.call(Builtin::IndexOf, &[a, Value::Int(2)]),
-            Ok(Value::Int(2))
-        ));
-        assert!(matches!(
-            h.call(Builtin::Contains, &[a, Value::Int(42)]),
-            Ok(Value::Bool(false))
-        ));
+        assert!(matches!(h.call(Builtin::IndexOf, &[a, Value::Int(2)]), Ok(Value::Int(2))));
+        assert!(matches!(h.call(Builtin::Contains, &[a, Value::Int(42)]), Ok(Value::Bool(false))));
         let popped = h.call(Builtin::Pop, &[a]).unwrap();
         assert!(matches!(popped, Value::Int(1)));
         let removed = h.call(Builtin::RemoveAt, &[a, Value::Int(0)]).unwrap();
@@ -878,11 +861,7 @@ mod tests {
         // OS thread deadlock a stress collection.
         let d = {
             let m = h.heap.register_mutator();
-            Value::Obj(h.heap.alloc(
-                &m,
-                &KeptRoots(&h, &[]),
-                tetra_runtime::Object::dict(map),
-            ))
+            Value::Obj(h.heap.alloc(&m, &KeptRoots(&h, &[]), tetra_runtime::Object::dict(map)))
         };
         h.kept.lock().push(d);
         let ks = h.call(Builtin::Keys, &[d]).unwrap();

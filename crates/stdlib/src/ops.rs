@@ -16,9 +16,7 @@
 
 use std::sync::Arc;
 use tetra_ast::{BinOp, Type};
-use tetra_runtime::{
-    ErrorKind, Heap, MutatorGuard, Object, RootSource, RuntimeError, Value,
-};
+use tetra_runtime::{ErrorKind, Heap, MutatorGuard, Object, RootSource, RuntimeError, Value};
 
 /// Minimal engine context for operators that may allocate.
 pub struct OpCtx<'a> {
@@ -203,10 +201,7 @@ pub fn negate(ctx: &OpCtx, v: Value) -> Result<Value, RuntimeError> {
             .map(Value::Int)
             .ok_or_else(|| ctx.err(ErrorKind::Overflow, "negation overflowed")),
         Value::Real(r) => Ok(Value::Real(-r)),
-        other => Err(ctx.err(
-            ErrorKind::Value,
-            format!("cannot negate a {}", other.type_name()),
-        )),
+        other => Err(ctx.err(ErrorKind::Value, format!("cannot negate a {}", other.type_name()))),
     }
 }
 
@@ -214,20 +209,16 @@ pub fn negate(ctx: &OpCtx, v: Value) -> Result<Value, RuntimeError> {
 pub fn not(ctx: &OpCtx, v: Value) -> Result<Value, RuntimeError> {
     match v {
         Value::Bool(b) => Ok(Value::Bool(!b)),
-        other => Err(ctx.err(
-            ErrorKind::Value,
-            format!("`not` applied to a {}", other.type_name()),
-        )),
+        other => {
+            Err(ctx.err(ErrorKind::Value, format!("`not` applied to a {}", other.type_name())))
+        }
     }
 }
 
 /// `base[index]` read.
 pub fn index_read(ctx: &OpCtx, base: Value, index: Value) -> Result<Value, RuntimeError> {
     let Value::Obj(obj) = base else {
-        return Err(ctx.err(
-            ErrorKind::Value,
-            format!("cannot index into a {}", base.type_name()),
-        ));
+        return Err(ctx.err(ErrorKind::Value, format!("cannot index into a {}", base.type_name())));
     };
     match obj.object() {
         Object::Array(items) => {
@@ -265,19 +256,13 @@ pub fn index_read(ctx: &OpCtx, base: Value, index: Value) -> Result<Value, Runti
                 Some(c) => Ok(ctx.alloc_str(c.to_string())),
                 None => Err(ctx.err(
                     ErrorKind::IndexOutOfBounds,
-                    format!(
-                        "index {idx} out of bounds for string of length {}",
-                        s.chars().count()
-                    ),
+                    format!("index {idx} out of bounds for string of length {}", s.chars().count()),
                 )),
             }
         }
         Object::Dict(map) => {
             let key = index.to_dict_key().ok_or_else(|| {
-                ctx.err(
-                    ErrorKind::Value,
-                    format!("a {} cannot be a dict key", index.type_name()),
-                )
+                ctx.err(ErrorKind::Value, format!("a {} cannot be a dict key", index.type_name()))
             })?;
             map.lock().get(&key).copied().ok_or_else(|| {
                 ctx.err(ErrorKind::KeyNotFound, format!("key {} not found", key.display()))
@@ -288,17 +273,9 @@ pub fn index_read(ctx: &OpCtx, base: Value, index: Value) -> Result<Value, Runti
 
 /// `base[index] = value` write. Preserves the realness of array slots so
 /// static `[real]` arrays never hold ints.
-pub fn index_write(
-    ctx: &OpCtx,
-    base: Value,
-    index: Value,
-    new: Value,
-) -> Result<(), RuntimeError> {
+pub fn index_write(ctx: &OpCtx, base: Value, index: Value, new: Value) -> Result<(), RuntimeError> {
     let Value::Obj(obj) = base else {
-        return Err(ctx.err(
-            ErrorKind::Value,
-            format!("cannot assign into a {}", base.type_name()),
-        ));
+        return Err(ctx.err(ErrorKind::Value, format!("cannot assign into a {}", base.type_name())));
     };
     match obj.object() {
         Object::Array(items) => {
@@ -319,10 +296,7 @@ pub fn index_write(
         }
         Object::Dict(map) => {
             let key = index.to_dict_key().ok_or_else(|| {
-                ctx.err(
-                    ErrorKind::Value,
-                    format!("a {} cannot be a dict key", index.type_name()),
-                )
+                ctx.err(ErrorKind::Value, format!("a {} cannot be a dict key", index.type_name()))
             })?;
             map.lock().insert(key, new);
             Ok(())
@@ -378,8 +352,7 @@ mod tests {
     #[test]
     fn overflow_is_reported() {
         with_ctx(|ctx| {
-            let e =
-                binary(ctx, BinOp::Add, Value::Int(i64::MAX), Value::Int(1)).unwrap_err();
+            let e = binary(ctx, BinOp::Add, Value::Int(i64::MAX), Value::Int(1)).unwrap_err();
             assert_eq!(e.kind, ErrorKind::Overflow);
             let e = negate(ctx, Value::Int(i64::MIN)).unwrap_err();
             assert_eq!(e.kind, ErrorKind::Overflow);
@@ -399,11 +372,7 @@ mod tests {
     #[test]
     fn array_self_concat() {
         with_ctx(|ctx| {
-            let a = ctx.heap.alloc_array(
-                ctx.mutator,
-                &NoRoots,
-                vec![Value::Int(1), Value::Int(2)],
-            );
+            let a = ctx.heap.alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
             let c = binary(ctx, BinOp::Add, a, a).unwrap();
             assert_eq!(c.display(), "[1, 2, 1, 2]");
         });
@@ -427,12 +396,8 @@ mod tests {
     #[test]
     fn equality_is_structural() {
         with_ctx(|ctx| {
-            let a = ctx
-                .heap
-                .alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
-            let b = ctx
-                .heap
-                .alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
+            let a = ctx.heap.alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
+            let b = ctx.heap.alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
             assert!(matches!(binary(ctx, BinOp::Eq, a, b), Ok(Value::Bool(true))));
         });
     }
@@ -440,9 +405,7 @@ mod tests {
     #[test]
     fn index_read_write_round_trip() {
         with_ctx(|ctx| {
-            let a = ctx
-                .heap
-                .alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
+            let a = ctx.heap.alloc_array(ctx.mutator, &NoRoots, vec![Value::Int(1), Value::Int(2)]);
             index_write(ctx, a, Value::Int(1), Value::Int(9)).unwrap();
             assert!(matches!(index_read(ctx, a, Value::Int(1)), Ok(Value::Int(9))));
             let e = index_read(ctx, a, Value::Int(5)).unwrap_err();

@@ -210,12 +210,11 @@ impl Builtin {
     pub fn all() -> &'static [Builtin] {
         use Builtin::*;
         &[
-            Print, ReadInt, ReadReal, ReadString, ReadBool, Len, Abs, Min, Max, Sqrt, Pow,
-            Floor, Ceil, Round, Sin, Cos, Tan, Log, Exp, Random, RandInt, ToStr, ToInt, ToReal,
-            Upper, Lower, Trim, Substr, Find, Split, Join, Replace, StartsWith, EndsWith,
-            Append, Pop, Insert, RemoveAt, Clear, Sort, Reverse, IndexOf, Contains, Copy, Fill,
-            Sum, MinOf, MaxOf,
-            Keys, Values, HasKey, RemoveKey, Gc, Sleep, TimeMs, ThreadId,
+            Print, ReadInt, ReadReal, ReadString, ReadBool, Len, Abs, Min, Max, Sqrt, Pow, Floor,
+            Ceil, Round, Sin, Cos, Tan, Log, Exp, Random, RandInt, ToStr, ToInt, ToReal, Upper,
+            Lower, Trim, Substr, Find, Split, Join, Replace, StartsWith, EndsWith, Append, Pop,
+            Insert, RemoveAt, Clear, Sort, Reverse, IndexOf, Contains, Copy, Fill, Sum, MinOf,
+            MaxOf, Keys, Values, HasKey, RemoveKey, Gc, Sleep, TimeMs, ThreadId,
         ]
     }
 }

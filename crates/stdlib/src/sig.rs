@@ -29,11 +29,7 @@ pub fn check_builtin_call(b: Builtin, args: &[Type]) -> Result<Type, String> {
         if args[i].is_numeric() {
             Ok(())
         } else {
-            Err(format!(
-                "{} expects a numeric argument, got {}",
-                b.name(),
-                args[i]
-            ))
+            Err(format!("{} expects a numeric argument, got {}", b.name(), args[i]))
         }
     };
     let string = |i: usize| -> Result<(), String> {
@@ -318,10 +314,7 @@ mod tests {
     fn len_is_polymorphic() {
         assert_eq!(check_builtin_call(Len, &[Type::Str]), Ok(Type::Int));
         assert_eq!(check_builtin_call(Len, &[Type::array(Type::Real)]), Ok(Type::Int));
-        assert_eq!(
-            check_builtin_call(Len, &[Type::dict(Type::Str, Type::Int)]),
-            Ok(Type::Int)
-        );
+        assert_eq!(check_builtin_call(Len, &[Type::dict(Type::Str, Type::Int)]), Ok(Type::Int));
         assert!(check_builtin_call(Len, &[Type::Int]).is_err());
     }
 
@@ -341,10 +334,10 @@ mod tests {
     #[test]
     fn array_builtins_are_element_polymorphic() {
         let arr = Type::array(Type::Str);
-        assert_eq!(check_builtin_call(Pop, &[arr.clone()]), Ok(Type::Str));
+        assert_eq!(check_builtin_call(Pop, std::slice::from_ref(&arr)), Ok(Type::Str));
         assert_eq!(check_builtin_call(Append, &[arr.clone(), Type::Str]), Ok(Type::None));
         assert!(check_builtin_call(Append, &[arr.clone(), Type::Int]).is_err());
-        assert_eq!(check_builtin_call(Copy, &[arr.clone()]), Ok(arr));
+        assert_eq!(check_builtin_call(Copy, std::slice::from_ref(&arr)), Ok(arr));
     }
 
     #[test]
@@ -363,8 +356,11 @@ mod tests {
     #[test]
     fn dict_builtins() {
         let d = Type::dict(Type::Str, Type::Int);
-        assert_eq!(check_builtin_call(Keys, &[d.clone()]), Ok(Type::array(Type::Str)));
-        assert_eq!(check_builtin_call(Values, &[d.clone()]), Ok(Type::array(Type::Int)));
+        assert_eq!(check_builtin_call(Keys, std::slice::from_ref(&d)), Ok(Type::array(Type::Str)));
+        assert_eq!(
+            check_builtin_call(Values, std::slice::from_ref(&d)),
+            Ok(Type::array(Type::Int))
+        );
         assert_eq!(check_builtin_call(HasKey, &[d.clone(), Type::Str]), Ok(Type::Bool));
         assert!(check_builtin_call(HasKey, &[d, Type::Int]).is_err());
     }

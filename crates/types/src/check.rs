@@ -360,13 +360,7 @@ impl Checker {
         }
     }
 
-    fn bind_loop_var(
-        &mut self,
-        var: &str,
-        elem: Type,
-        _id: NodeId,
-        span: Span,
-    ) -> CResult<()> {
+    fn bind_loop_var(&mut self, var: &str, elem: Type, _id: NodeId, span: Span) -> CResult<()> {
         match self.locals.get(var) {
             None => {
                 self.locals.insert(var.to_string(), elem);
@@ -401,10 +395,7 @@ impl Checker {
         let t = self.infer(iter, None)?;
         match t.element() {
             Some(elem) => Ok(elem),
-            None => Err(self.error(
-                format!("cannot iterate over a value of type {t}"),
-                iter.span,
-            )),
+            None => Err(self.error(format!("cannot iterate over a value of type {t}"), iter.span)),
         }
     }
 
@@ -435,7 +426,9 @@ impl Checker {
                             Some(et) => {
                                 if !compatible(&et, &vt) {
                                     return Err(self.error_help(
-                                        format!("cannot assign a {vt} to `{name}`, which has type {et}"),
+                                        format!(
+                                            "cannot assign a {vt} to `{name}`, which has type {et}"
+                                        ),
                                         span,
                                         "a variable keeps the type of its first assignment",
                                     ));
@@ -446,10 +439,8 @@ impl Checker {
                     }
                     Some(binop) => {
                         let Some(et) = expected else {
-                            return Err(self.error(
-                                format!("`{name}` is used before any assignment"),
-                                *tspan,
-                            ));
+                            return Err(self
+                                .error(format!("`{name}` is used before any assignment"), *tspan));
                         };
                         let vt = self.infer(value, Some(&et))?;
                         let rt = self.binary_result(binop, &et, &vt, span)?;
@@ -483,10 +474,9 @@ impl Checker {
                     Type::Dict(k, v) => {
                         let it = self.infer(index, Some(k))?;
                         if !compatible(k, &it) {
-                            return Err(self.error(
-                                format!("dict key must be {k}, found {it}"),
-                                index.span,
-                            ));
+                            return Err(
+                                self.error(format!("dict key must be {k}, found {it}"), index.span)
+                            );
                         }
                         ((**v).clone(), "value")
                     }
@@ -558,20 +548,16 @@ impl Checker {
                 }
             }
             Eq | Ne => {
-                let ok = lt == rt
-                    || (lt.is_numeric() && rt.is_numeric());
+                let ok = lt == rt || (lt.is_numeric() && rt.is_numeric());
                 if ok {
                     Ok(Type::Bool)
                 } else {
-                    Err(self.error(
-                        format!("cannot compare {lt} with {rt}"),
-                        span,
-                    ))
+                    Err(self.error(format!("cannot compare {lt} with {rt}"), span))
                 }
             }
             Lt | Gt | Le | Ge => {
-                let ok = (lt.is_numeric() && rt.is_numeric())
-                    || (*lt == Type::Str && *rt == Type::Str);
+                let ok =
+                    (lt.is_numeric() && rt.is_numeric()) || (*lt == Type::Str && *rt == Type::Str);
                 if ok {
                     Ok(Type::Bool)
                 } else {
@@ -589,10 +575,7 @@ impl Checker {
                     Ok(Type::Bool)
                 } else {
                     Err(self.error(
-                        format!(
-                            "`{}` needs bool operands, found {lt} and {rt}",
-                            op.symbol()
-                        ),
+                        format!("`{}` needs bool operands, found {lt} and {rt}", op.symbol()),
                         span,
                     ))
                 }
@@ -677,10 +660,9 @@ impl Checker {
                     Type::Dict(k, v) => {
                         let it = self.infer(index, Some(k))?;
                         if !compatible(k, &it) {
-                            return Err(self.error(
-                                format!("dict key must be {k}, found {it}"),
-                                index.span,
-                            ));
+                            return Err(
+                                self.error(format!("dict key must be {k}, found {it}"), index.span)
+                            );
                         }
                         Ok((**v).clone())
                     }
@@ -706,10 +688,10 @@ impl Checker {
                             )),
                         }
                     }
-                    other => Err(self.error(
-                        format!("cannot index into a value of type {other}"),
-                        base.span,
-                    )),
+                    other => {
+                        Err(self
+                            .error(format!("cannot index into a value of type {other}"), base.span))
+                    }
                 }
             }
             ExprKind::Array(items) => {
@@ -734,7 +716,9 @@ impl Checker {
                         Some(u) => u,
                         None => {
                             return Err(self.error(
-                                format!("array elements must share one type: found {unified} and {t}"),
+                                format!(
+                                    "array elements must share one type: found {unified} and {t}"
+                                ),
                                 item.span,
                             ))
                         }
@@ -746,10 +730,9 @@ impl Checker {
                 for bound in [lo, hi] {
                     let t = self.infer(bound, Some(&Type::Int))?;
                     if t != Type::Int {
-                        return Err(self.error(
-                            format!("range bounds must be ints, found {t}"),
-                            bound.span,
-                        ));
+                        return Err(
+                            self.error(format!("range bounds must be ints, found {t}"), bound.span)
+                        );
                     }
                 }
                 Ok(Type::array(Type::Int))
@@ -837,11 +820,7 @@ impl Checker {
             let (index, params, ret) = (sig.index, sig.params.clone(), sig.ret.clone());
             if args.len() != params.len() {
                 return Err(self.error(
-                    format!(
-                        "`{callee}` expects {} argument(s), got {}",
-                        params.len(),
-                        args.len()
-                    ),
+                    format!("`{callee}` expects {} argument(s), got {}", params.len(), args.len()),
                     e.span,
                 ));
             }

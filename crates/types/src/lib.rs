@@ -185,11 +185,7 @@ def main():
     print(len(5))
 ";
         let tp = check_src(src).unwrap();
-        let call = tp
-            .callees
-            .values()
-            .filter(|c| matches!(c, Callee::User(_)))
-            .count();
+        let call = tp.callees.values().filter(|c| matches!(c, Callee::User(_))).count();
         assert!(call >= 1, "len(5) must resolve to the user function");
     }
 
@@ -206,7 +202,9 @@ def main():
 
     #[test]
     fn missing_return_is_detected() {
-        let err = first_error("def f(x int) int:\n    if x > 0:\n        return 1\ndef main():\n    f(1)\n");
+        let err = first_error(
+            "def f(x int) int:\n    if x > 0:\n        return 1\ndef main():\n    f(1)\n",
+        );
         assert!(err.contains("without returning"), "{err}");
         // An exhaustive if/else is fine.
         assert!(check_src(
@@ -219,8 +217,7 @@ def main():
     fn return_type_mismatch() {
         let err = first_error("def f() int:\n    return \"x\"\ndef main():\n    f()\n");
         assert!(err.contains("expected int"), "{err}");
-        let err =
-            first_error("def f():\n    return 1\ndef main():\n    f()\n");
+        let err = first_error("def f():\n    return 1\ndef main():\n    f()\n");
         assert!(err.contains("no declared return type"), "{err}");
     }
 
@@ -230,17 +227,14 @@ def main():
             "def f() int:\n    parallel:\n        return 1\n    return 2\ndef main():\n    f()\n",
         );
         assert!(err.contains("parallel"), "{err}");
-        let err = first_error(
-            "def main():\n    parallel for i in [1, 2]:\n        return\n",
-        );
+        let err = first_error("def main():\n    parallel for i in [1, 2]:\n        return\n");
         assert!(err.contains("parallel for"), "{err}");
     }
 
     #[test]
     fn break_cannot_cross_thread_boundary() {
-        let err = first_error(
-            "def main():\n    while true:\n        parallel:\n            break\n",
-        );
+        let err =
+            first_error("def main():\n    while true:\n        parallel:\n            break\n");
         assert!(err.contains("thread boundary"), "{err}");
         // But break inside a loop inside a parallel statement is fine.
         assert!(check_src(

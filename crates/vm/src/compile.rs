@@ -14,20 +14,14 @@
 
 use crate::bytecode::*;
 use std::collections::HashMap;
-use tetra_ast::{
-    AssignOp, BinOp, Block, Expr, ExprKind, Stmt, StmtKind, Target, Type, UnOp,
-};
+use tetra_ast::{AssignOp, BinOp, Block, Expr, ExprKind, Stmt, StmtKind, Target, Type, UnOp};
 use tetra_stdlib::Builtin;
 use tetra_types::{Callee, TypedProgram};
 
 /// Compile a checked program to bytecode.
 pub fn compile(typed: &TypedProgram) -> CompiledProgram {
-    let mut c = Compiler {
-        typed,
-        units: Vec::new(),
-        consts: Vec::new(),
-        const_map: HashMap::new(),
-    };
+    let mut c =
+        Compiler { typed, units: Vec::new(), consts: Vec::new(), const_map: HashMap::new() };
     let num_funcs = typed.program.funcs.len();
     // Reserve function unit slots so thunk indices follow them.
     for f in &typed.program.funcs {
@@ -244,7 +238,13 @@ impl<'c, 't> FnCompiler<'c, 't> {
     // ---- thunks ---------------------------------------------------------------
 
     /// Compile `body` into a new thunk unit; returns its unit index.
-    fn thunk(&mut self, kind: UnitKind, name: String, params: u16, body: impl FnOnce(&mut Self)) -> u16 {
+    fn thunk(
+        &mut self,
+        kind: UnitKind,
+        name: String,
+        params: u16,
+        body: impl FnOnce(&mut Self),
+    ) -> u16 {
         self.scopes.push(Scope {
             names: HashMap::new(),
             nlocals: params,
@@ -347,8 +347,7 @@ impl<'c, 't> FnCompiler<'c, 't> {
                     part.loops.push((Vec::new(), Vec::new(), trys));
                 }
                 self.block(body);
-                let (breaks, continues, _) =
-                    self.parts.last_mut().unwrap().loops.pop().unwrap();
+                let (breaks, continues, _) = self.parts.last_mut().unwrap().loops.pop().unwrap();
                 for c in continues {
                     // `continue` in a while loop re-tests the condition.
                     let part = self.parts.last_mut().unwrap();
@@ -388,8 +387,7 @@ impl<'c, 't> FnCompiler<'c, 't> {
                     part.loops.push((Vec::new(), Vec::new(), trys));
                 }
                 self.block(body);
-                let (breaks, continues, _) =
-                    self.parts.last_mut().unwrap().loops.pop().unwrap();
+                let (breaks, continues, _) = self.parts.last_mut().unwrap().loops.pop().unwrap();
                 let incr = self.here();
                 for c in continues {
                     let part = self.parts.last_mut().unwrap();
@@ -545,8 +543,7 @@ impl<'c, 't> FnCompiler<'c, 't> {
     /// Emit `Widen` when the expected static type is real but the value
     /// expression is an int.
     fn maybe_widen(&mut self, expected: &Type, value: &Expr) {
-        if *expected == Type::Real
-            && self.comp.typed.expr_types.get(&value.id) == Some(&Type::Int)
+        if *expected == Type::Real && self.comp.typed.expr_types.get(&value.id) == Some(&Type::Int)
         {
             self.emit(Instr::Widen);
         }

@@ -19,13 +19,8 @@ pub fn disassemble(program: &CompiledProgram) -> String {
         )
         .unwrap();
         for (ip, instr) in unit.code.iter().enumerate() {
-            writeln!(
-                out,
-                "  {ip:4}  [line {:3}]  {}",
-                unit.lines[ip],
-                render(instr, program)
-            )
-            .unwrap();
+            writeln!(out, "  {ip:4}  [line {:3}]  {}", unit.lines[ip], render(instr, program))
+                .unwrap();
         }
     }
     out

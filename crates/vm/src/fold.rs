@@ -110,7 +110,9 @@ fn fold_stmt(stmt: &mut Stmt, stats: &mut FoldStats) -> Keep {
             fold_block(body, stats);
             Keep::Yes
         }
-        StmtKind::Parallel { body } | StmtKind::Background { body } | StmtKind::Lock { body, .. } => {
+        StmtKind::Parallel { body }
+        | StmtKind::Background { body }
+        | StmtKind::Lock { body, .. } => {
             fold_block(body, stats);
             Keep::Yes
         }
@@ -302,8 +304,7 @@ mod tests {
 
     #[test]
     fn overflow_does_not_fold() {
-        let (p, stats) =
-            fold_src("def main():\n    x = 9223372036854775807 + 1\n");
+        let (p, stats) = fold_src("def main():\n    x = 9223372036854775807 + 1\n");
         assert!(main_source(&p).contains("9223372036854775807 + 1"));
         assert_eq!(stats.expressions_folded, 0);
     }

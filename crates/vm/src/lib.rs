@@ -53,7 +53,11 @@ mod tests {
         compile(&typed)
     }
 
-    fn run_vm(src: &str, config: VmConfig, input: &[&str]) -> (Result<SimStats, RuntimeError>, String) {
+    fn run_vm(
+        src: &str,
+        config: VmConfig,
+        input: &[&str],
+    ) -> (Result<SimStats, RuntimeError>, String) {
         let program = compile_src(src);
         let console = BufferConsole::with_input(input);
         let r = run(&program, config, console.clone());

@@ -91,6 +91,8 @@ struct SimLock {
     holder: Option<u32>,
     /// Line where the holder took the lock (for re-entry messages).
     holder_line: u32,
+    /// Trace timestamp of the current acquisition (0 when tracing is off).
+    held_since_ns: u64,
     waiters: Vec<u32>,
 }
 
@@ -201,11 +203,7 @@ impl<'p> Scheduler<'p> {
                 let Some((victim, want)) = blocked.first().cloned() else {
                     return Err(self.stuck_error());
                 };
-                let err = RuntimeError::new(
-                    ErrorKind::Deadlock,
-                    self.stuck_error().message,
-                    0,
-                );
+                let err = RuntimeError::new(ErrorKind::Deadlock, self.stuck_error().message, 0);
                 // Remove the victim from the wait queue and unwind it.
                 if let Some(entry) = self.locks.get_mut(&want) {
                     entry.waiters.retain(|w| *w != victim);
@@ -225,6 +223,8 @@ impl<'p> Scheduler<'p> {
             let batch: u32 = if runnable == 1 { 256 } else { 1 };
             let idx = tid as usize;
             let mut pending: Option<Outcome> = None;
+            let dispatch_start = tetra_obs::now_ns();
+            let mut dispatched: u32 = 0;
             for _ in 0..batch {
                 // Disjoint field borrows: the stepped thread is mutable;
                 // the world pieces and cost bookkeeping are other fields.
@@ -238,6 +238,7 @@ impl<'p> Scheduler<'p> {
                 let thread = &mut self.threads[idx];
                 let stepped = thread.step(&world);
                 self.instructions += 1;
+                dispatched += 1;
                 let (outcome, cost) = match stepped {
                     Ok(x) => x,
                     Err(e) => {
@@ -272,6 +273,9 @@ impl<'p> Scheduler<'p> {
                     pending = Some(outcome);
                     break;
                 }
+            }
+            if dispatched > 0 {
+                tetra_obs::vm_dispatch(tid, dispatched, dispatch_start);
             }
             if let Some(outcome) = pending {
                 self.handle(tid, outcome)?;
@@ -362,13 +366,24 @@ impl<'p> Scheduler<'p> {
                 let entry = self.locks.entry(name.clone()).or_insert(SimLock {
                     holder: None,
                     holder_line: 0,
+                    held_since_ns: 0,
                     waiters: Vec::new(),
                 });
                 match entry.holder {
                     None => {
                         entry.holder = Some(tid);
                         entry.holder_line = line;
+                        entry.held_since_ns = tetra_obs::now_ns();
+                        let acquired_ns = entry.held_since_ns;
                         let t = self.thread(tid);
+                        // A woken waiter re-runs EnterLock and acquires here:
+                        // its wait started back when it first blocked.
+                        let (wait_start, wait_line) = if t.block_start.0 != 0 {
+                            std::mem::take(&mut t.block_start)
+                        } else {
+                            (acquired_ns, line)
+                        };
+                        tetra_obs::lock_wait(tid, &name, wait_line, wait_start);
                         t.held_locks.push(name);
                         t.advance_ip();
                         Ok(())
@@ -391,7 +406,9 @@ impl<'p> Scheduler<'p> {
                     Some(_) => {
                         entry.waiters.push(tid);
                         self.lock_contentions += 1;
-                        self.thread(tid).state = VmState::BlockedLock(name);
+                        let t = self.thread(tid);
+                        t.block_start = (tetra_obs::now_ns(), line);
+                        t.state = VmState::BlockedLock(name);
                         Ok(())
                     }
                 }
@@ -413,6 +430,7 @@ impl<'p> Scheduler<'p> {
         if let Some(entry) = self.locks.get_mut(name) {
             debug_assert_eq!(entry.holder, Some(tid));
             entry.holder = None;
+            tetra_obs::lock_hold(tid, name, entry.held_since_ns);
             let waiters = std::mem::take(&mut entry.waiters);
             for w in waiters {
                 let t = self.thread(w);
@@ -433,18 +451,14 @@ impl<'p> Scheduler<'p> {
         match handler {
             Some(h) => {
                 // Release locks acquired after the try was entered.
-                let to_release: Vec<String> =
-                    self.thread(tid).held_locks.split_off(h.locks_mark);
+                let to_release: Vec<String> = self.thread(tid).held_locks.split_off(h.locks_mark);
                 for name in to_release.iter().rev() {
                     self.release_lock(tid, name);
                 }
                 // Materialize the message; the handler's first instruction
                 // stores it into the catch variable.
-                let msg = self.heap.alloc_str(
-                    &self.mutator,
-                    self.registry.as_ref(),
-                    err.message.clone(),
-                );
+                let msg =
+                    self.heap.alloc_str(&self.mutator, self.registry.as_ref(), err.message.clone());
                 let t = self.thread(tid);
                 while t.frames.len() > h.frame_depth {
                     t.frames.pop();
@@ -459,8 +473,7 @@ impl<'p> Scheduler<'p> {
             }
             None => {
                 // Release everything the thread still holds.
-                let to_release: Vec<String> =
-                    std::mem::take(&mut self.thread(tid).held_locks);
+                let to_release: Vec<String> = std::mem::take(&mut self.thread(tid).held_locks);
                 for name in to_release.iter().rev() {
                     self.release_lock(tid, name);
                 }
@@ -506,6 +519,10 @@ impl<'p> Scheduler<'p> {
         let (end_time, parent) = {
             let t = self.thread(tid);
             t.state = VmState::Done;
+            if tetra_obs::enabled() {
+                let name = if tid == 0 { "vm-main".to_string() } else { format!("vm-{tid}") };
+                tetra_obs::thread_span(tid, &name, t.trace_start_ns);
+            }
             (t.vtime, t.parent)
         };
         // Wake a parent joining on this thread once all siblings finished.
@@ -522,9 +539,8 @@ impl<'p> Scheduler<'p> {
                     .map(|c| self.threads[*c as usize].vtime)
                     .max()
                     .unwrap_or(end_time);
-                let child_error = done_children
-                    .iter()
-                    .find_map(|c| self.threads[*c as usize].error.take());
+                let child_error =
+                    done_children.iter().find_map(|c| self.threads[*c as usize].error.take());
                 let p = self.thread(pid);
                 p.state = VmState::Runnable;
                 p.vtime = p.vtime.max(join_time);

@@ -15,8 +15,7 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::{Arc, Weak};
 use tetra_ast::Type;
 use tetra_runtime::{
-    ConsoleRef, ErrorKind, Heap, MutatorGuard, Object, RootSink, RootSource, RuntimeError,
-    Value,
+    ConsoleRef, ErrorKind, Heap, MutatorGuard, Object, RootSink, RootSource, RuntimeError, Value,
 };
 use tetra_stdlib::{ops, Builtin};
 
@@ -123,6 +122,11 @@ pub struct VmThread {
     /// An uncaught error (delivered to the joining parent, or reported at
     /// program end for background threads).
     pub error: Option<RuntimeError>,
+    /// Trace timestamp of thread creation (0 when tracing is off).
+    pub trace_start_ns: u64,
+    /// Trace timestamp of the blocking acquire in progress, with the
+    /// `lock` statement's line (used when the thread is woken).
+    pub block_start: (u64, u32),
 }
 
 /// Cost class of an executed instruction, mapped to virtual time by the
@@ -145,13 +149,24 @@ pub enum Outcome {
     Normal,
     /// Spawn these thunks; `join` distinguishes `parallel:` from
     /// `background:`.
-    Spawn { thunks: Vec<u16>, join: bool },
+    Spawn {
+        thunks: Vec<u16>,
+        join: bool,
+    },
     /// Distribute `items` over workers running `thunk`.
-    ParallelFor { thunk: u16, items: Vec<Value> },
+    ParallelFor {
+        thunk: u16,
+        items: Vec<Value>,
+    },
     /// The thread wants this lock; its ip was *not* advanced.
-    WantLock { name: String, line: u32 },
+    WantLock {
+        name: String,
+        line: u32,
+    },
     /// The thread released this lock.
-    Unlocked { name: String },
+    Unlocked {
+        name: String,
+    },
     /// The outermost frame returned; the thread is finished (unless its
     /// feed has more items).
     Finished,
@@ -188,19 +203,26 @@ impl VmThread {
             handlers: Vec::new(),
             held_locks: Vec::new(),
             error: None,
+            trace_start_ns: tetra_obs::now_ns(),
+            block_start: (0, 0),
         }
     }
 
     pub fn current_line(&self, program: &CompiledProgram) -> u32 {
         match self.frames.last() {
-            Some(f) => program.unit(f.unit).line_at(f.ip.min(
-                program.unit(f.unit).code.len().saturating_sub(1),
-            )),
+            Some(f) => program
+                .unit(f.unit)
+                .line_at(f.ip.min(program.unit(f.unit).code.len().saturating_sub(1))),
             None => 0,
         }
     }
 
-    fn err(&self, program: &CompiledProgram, kind: ErrorKind, msg: impl Into<String>) -> RuntimeError {
+    fn err(
+        &self,
+        program: &CompiledProgram,
+        kind: ErrorKind,
+        msg: impl Into<String>,
+    ) -> RuntimeError {
         RuntimeError::new(kind, msg, self.current_line(program))
     }
 
@@ -211,15 +233,18 @@ impl VmThread {
     }
 
     fn pop(&self, program: &CompiledProgram) -> Result<Value, RuntimeError> {
-        self.stack.write().pop().ok_or_else(|| {
-            self.err(program, ErrorKind::Value, "VM stack underflow (compiler bug)")
-        })
+        self.stack
+            .write()
+            .pop()
+            .ok_or_else(|| self.err(program, ErrorKind::Value, "VM stack underflow (compiler bug)"))
     }
 
     fn peek(&self, program: &CompiledProgram) -> Result<Value, RuntimeError> {
-        self.stack.read().last().copied().ok_or_else(|| {
-            self.err(program, ErrorKind::Value, "VM stack underflow (compiler bug)")
-        })
+        self.stack
+            .read()
+            .last()
+            .copied()
+            .ok_or_else(|| self.err(program, ErrorKind::Value, "VM stack underflow (compiler bug)"))
     }
 
     /// Copy the top `n` values (kept on the stack as GC roots).
@@ -245,12 +270,8 @@ impl VmThread {
         let line = unit.line_at(frame.ip);
         self.instructions += 1;
 
-        let octx = ops::OpCtx {
-            heap: world.heap,
-            mutator: world.mutator,
-            roots: world.registry,
-            line,
-        };
+        let octx =
+            ops::OpCtx { heap: world.heap, mutator: world.mutator, roots: world.registry, line };
 
         let mut cost = CostClass::Basic;
         let mut advance = true;
@@ -549,15 +570,10 @@ impl VmThread {
                         Object::Array(items) => items.lock().clone(),
                         Object::Str(s) => {
                             // Iterate characters, as the interpreter does.
-                            let chars: Vec<String> =
-                                s.chars().map(|c| c.to_string()).collect();
+                            let chars: Vec<String> = s.chars().map(|c| c.to_string()).collect();
                             let mut out = Vec::with_capacity(chars.len());
                             for c in chars {
-                                let v = world.heap.alloc_str(
-                                    world.mutator,
-                                    world.registry,
-                                    c,
-                                );
+                                let v = world.heap.alloc_str(world.mutator, world.registry, c);
                                 // Root each char via the operand stack.
                                 self.push(v);
                                 out.push(v);

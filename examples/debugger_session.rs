@@ -68,8 +68,7 @@ fn main() {
         dbg.step(walked);
         dbg.wait_until(wait, |p| p.iter().any(|t| t.thread == walked));
         if let Some(p) = dbg.paused().iter().find(|p| p.thread == walked) {
-            let vars: Vec<String> =
-                p.locals.iter().map(|(n, v)| format!("{n}={v}")).collect();
+            let vars: Vec<String> = p.locals.iter().map(|(n, v)| format!("{n}={v}")).collect();
             println!("  step {step}: thread {walked} before line {} ({})", p.line, vars.join(", "));
         }
     }

@@ -4,9 +4,7 @@
 
 /// Load one of the `.tet` example programs shipped in `examples/tetra/`.
 pub fn example_source(name: &str) -> String {
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("examples/tetra")
-        .join(name);
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/tetra").join(name);
     std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("cannot read example {}: {e}", path.display()))
 }

@@ -120,22 +120,14 @@ fn render_block(stmts: &[GenStmt], indent: usize, in_loop: bool, out: &mut Strin
             GenStmt::AddAssign(v, e) => {
                 out.push_str(&format!("{pad}{} += {}\n", var_name(*v), e.render(in_loop)))
             }
-            GenStmt::ArraySet(i, e) => out.push_str(&format!(
-                "{pad}arr[{}] = {}\n",
-                i % 5,
-                e.render(in_loop)
-            )),
-            GenStmt::ArrayBump(i, e) => out.push_str(&format!(
-                "{pad}arr[{}] += {}\n",
-                i % 5,
-                e.render(in_loop)
-            )),
+            GenStmt::ArraySet(i, e) => {
+                out.push_str(&format!("{pad}arr[{}] = {}\n", i % 5, e.render(in_loop)))
+            }
+            GenStmt::ArrayBump(i, e) => {
+                out.push_str(&format!("{pad}arr[{}] += {}\n", i % 5, e.render(in_loop)))
+            }
             GenStmt::If(l, r, then, els) => {
-                out.push_str(&format!(
-                    "{pad}if {} > {}:\n",
-                    l.render(in_loop),
-                    r.render(in_loop)
-                ));
+                out.push_str(&format!("{pad}if {} > {}:\n", l.render(in_loop), r.render(in_loop)));
                 render_block(then, indent + 1, in_loop, out);
                 if !els.is_empty() {
                     out.push_str(&format!("{pad}else:\n"));

@@ -124,9 +124,8 @@ fn timeline_renders_for_the_max_example() {
 fn run_stats_expose_thread_and_lock_activity() {
     let p = Tetra::compile(&example_source("counter.tet")).unwrap();
     let console = BufferConsole::new();
-    let stats = p
-        .run_with(InterpConfig { worker_threads: 4, ..InterpConfig::default() }, console)
-        .unwrap();
+    let stats =
+        p.run_with(InterpConfig { worker_threads: 4, ..InterpConfig::default() }, console).unwrap();
     assert_eq!(stats.threads_spawned, 5, "main + 4 workers");
     assert_eq!(stats.lock_acquisitions.0, 200, "one acquisition per increment");
 }

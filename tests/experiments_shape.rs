@@ -18,10 +18,7 @@ fn e5_primes_speedup_shape() {
         (3.8..6.5).contains(&rows[3].speedup),
         "T=8 speedup should be near the paper's ~5x: {rows:?}"
     );
-    assert!(
-        (0.45..0.85).contains(&rows[3].efficiency),
-        "efficiency near 62.5%: {rows:?}"
-    );
+    assert!((0.45..0.85).contains(&rows[3].efficiency), "efficiency near 62.5%: {rows:?}");
 }
 
 #[test]
@@ -63,14 +60,8 @@ fn e8_gil_flat_vs_tetra_rising() {
     let gil_rows =
         simulated_speedup_with(&src, &[1, 8], CostModel { gil: true, ..CostModel::default() })
             .unwrap();
-    assert!(
-        tetra_rows[1].speedup > 3.0,
-        "Tetra at T=8 must show real speedup: {tetra_rows:?}"
-    );
-    assert!(
-        gil_rows[1].speedup < 1.3,
-        "the GIL must pin speedup near 1x: {gil_rows:?}"
-    );
+    assert!(tetra_rows[1].speedup > 3.0, "Tetra at T=8 must show real speedup: {tetra_rows:?}");
+    assert!(gil_rows[1].speedup < 1.3, "the GIL must pin speedup near 1x: {gil_rows:?}");
 }
 
 #[test]

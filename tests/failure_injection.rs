@@ -87,10 +87,7 @@ fn error_kinds_are_precise() {
         ("def main():\n    print([1][5])\n", ErrorKind::IndexOutOfBounds),
         ("def main():\n    d = {1: 1}\n    print(d[9])\n", ErrorKind::KeyNotFound),
         ("def main():\n    assert false\n", ErrorKind::AssertionFailed),
-        (
-            "def main():\n    x = 9223372036854775807\n    print(x + 1)\n",
-            ErrorKind::Overflow,
-        ),
+        ("def main():\n    x = 9223372036854775807\n    print(x + 1)\n", ErrorKind::Overflow),
         ("def main():\n    lock a:\n        lock a:\n            pass\n", ErrorKind::LockReentry),
         ("def main():\n    n = int(\"abc\")\n    print(n)\n", ErrorKind::Value),
         ("def main():\n    n = read_int()\n    print(n)\n", ErrorKind::Io),
@@ -188,8 +185,7 @@ def main():
         b = [1][9]
 ";
     let p = Tetra::compile(src).unwrap();
-    let kinds: Vec<ErrorKind> = (0..3)
-        .map(|_| p.simulate(BufferConsole::new()).unwrap_err().kind)
-        .collect();
+    let kinds: Vec<ErrorKind> =
+        (0..3).map(|_| p.simulate(BufferConsole::new()).unwrap_err().kind).collect();
     assert!(kinds.windows(2).all(|w| w[0] == w[1]), "{kinds:?}");
 }

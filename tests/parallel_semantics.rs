@@ -78,16 +78,9 @@ def main():
     for workers in [1usize, 2, 8] {
         let console = BufferConsole::new();
         let stats = p
-            .run_with(
-                InterpConfig { worker_threads: workers, ..InterpConfig::default() },
-                console,
-            )
+            .run_with(InterpConfig { worker_threads: workers, ..InterpConfig::default() }, console)
             .unwrap();
-        assert_eq!(
-            stats.threads_spawned,
-            1 + workers.min(32) as u32,
-            "workers={workers}"
-        );
+        assert_eq!(stats.threads_spawned, 1 + workers.min(32) as u32, "workers={workers}");
     }
 }
 
@@ -259,10 +252,7 @@ fn detect_deadlocks_can_be_disabled_for_teaching() {
     let p = Tetra::compile(src).unwrap();
     let console = BufferConsole::new();
     let err = p
-        .run_with(
-            InterpConfig { detect_deadlocks: false, ..InterpConfig::default() },
-            console,
-        )
+        .run_with(InterpConfig { detect_deadlocks: false, ..InterpConfig::default() }, console)
         .unwrap_err();
     assert_eq!(err.kind, tetra::runtime::ErrorKind::LockReentry);
 }

@@ -5,10 +5,7 @@
 use tetra::Tetra;
 
 fn run_snippet(body: &str) -> String {
-    let indented: String = body
-        .lines()
-        .map(|l| format!("    {l}\n"))
-        .collect();
+    let indented: String = body.lines().map(|l| format!("    {l}\n")).collect();
     let src = format!("def main():\n{indented}");
     Tetra::compile(&src)
         .unwrap_or_else(|e| panic!("compile:\n{}\n--- source ---\n{src}", e.render()))
@@ -113,14 +110,8 @@ def main():
 
 #[test]
 fn dict_builtins_behave() {
-    case(
-        "d = {\"b\": 2, \"a\": 1}\nprint(keys(d), \" \", values(d))",
-        "[\"a\", \"b\"] [1, 2]\n",
-    );
-    case(
-        "d = {1: \"x\"}\nprint(has_key(d, 1), \" \", has_key(d, 2))",
-        "true false\n",
-    );
+    case("d = {\"b\": 2, \"a\": 1}\nprint(keys(d), \" \", values(d))", "[\"a\", \"b\"] [1, 2]\n");
+    case("d = {1: \"x\"}\nprint(has_key(d, 1), \" \", has_key(d, 2))", "true false\n");
     case(
         "d = {1: \"x\", 2: \"y\"}\nprint(remove_key(d, 1), \" \", len(d), \" \", remove_key(d, 1))",
         "true 1 false\n",
@@ -191,6 +182,7 @@ def main():
 ";
     let out = Tetra::compile(src).unwrap().run_both(&[]).unwrap();
     // sum(1..1000) + 250*(0+250+500+750)
-    let expected: i64 = (1..=250).map(|i| [0, 250, 500, 750].iter().map(|b| b + i).sum::<i64>()).sum();
+    let expected: i64 =
+        (1..=250).map(|i| [0, 250, 500, 750].iter().map(|b| b + i).sum::<i64>()).sum();
     assert_eq!(out, format!("{expected}\n"));
 }

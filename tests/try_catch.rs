@@ -280,8 +280,7 @@ fn type_errors_for_try() {
     .unwrap_err();
     assert!(err.to_string().contains("already has type int"), "{err}");
     // try without catch.
-    let err =
-        Tetra::compile("def main():\n    try:\n        pass\n    print(1)\n").unwrap_err();
+    let err = Tetra::compile("def main():\n    try:\n        pass\n    print(1)\n").unwrap_err();
     assert!(err.to_string().contains("catch"), "{err}");
     // catch alone.
     let err = Tetra::compile("def main():\n    catch e:\n        pass\n").unwrap_err();
