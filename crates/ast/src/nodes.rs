@@ -6,6 +6,7 @@
 //! compiler and debugger consume those tables).
 
 use crate::ty::Type;
+use tetra_intern::Symbol;
 use tetra_lexer::Span;
 
 /// A unique id assigned to every expression and statement by the parser.
@@ -145,13 +146,13 @@ pub enum ExprKind {
     /// The `none` literal.
     None,
     /// Variable reference.
-    Var(String),
+    Var(Symbol),
     /// Unary operation.
     Unary { op: UnOp, operand: Box<Expr> },
     /// Binary operation (including short-circuit `and`/`or`).
     Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
     /// Function call; Tetra functions are named (no first-class closures).
-    Call { callee: String, args: Vec<Expr> },
+    Call { callee: Symbol, args: Vec<Expr> },
     /// Indexing: `a[i]` on arrays, strings, dicts and tuples.
     Index { base: Box<Expr>, index: Box<Expr> },
     /// Array literal `[a, b, c]`.
@@ -169,7 +170,7 @@ pub enum ExprKind {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Target {
     /// `x = ...`
-    Name { name: String, span: Span, id: NodeId },
+    Name { name: Symbol, span: Span, id: NodeId },
     /// `a[i] = ...` (base may itself be an index expression: `m[i][j]`).
     Index { base: Expr, index: Expr, span: Span, id: NodeId },
 }
@@ -227,10 +228,10 @@ pub enum StmtKind {
     /// `while cond:` loop.
     While { cond: Expr, body: Block },
     /// `for var in seq:` loop.
-    For { var: String, var_id: NodeId, iter: Expr, body: Block },
+    For { var: Symbol, var_id: NodeId, iter: Expr, body: Block },
     /// `parallel for var in seq:` — iterations run concurrently; each worker
     /// thread gets a private copy of the induction variable (paper §IV).
-    ParallelFor { var: String, var_id: NodeId, iter: Expr, body: Block },
+    ParallelFor { var: Symbol, var_id: NodeId, iter: Expr, body: Block },
     /// `parallel:` — each child statement runs in its own thread; the block
     /// joins all of them before continuing (paper §II).
     Parallel { body: Block },
@@ -238,7 +239,7 @@ pub enum StmtKind {
     Background { body: Block },
     /// `lock name:` — mutual exclusion keyed by a name in its own namespace
     /// (paper §II).
-    Lock { name: String, body: Block },
+    Lock { name: Symbol, body: Block },
     /// `return [expr]`.
     Return(Option<Expr>),
     /// `break` out of the nearest loop.
@@ -253,13 +254,13 @@ pub enum StmtKind {
     /// errors raised in `body` (including errors propagated from spawned
     /// threads at their join) bind their message to `err_name` and run
     /// `handler`.
-    Try { body: Block, err_name: String, err_id: NodeId, handler: Block },
+    Try { body: Block, err_name: Symbol, err_id: NodeId, handler: Block },
 }
 
 /// A function parameter with its declared type (mandatory, paper §II).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Param {
-    pub name: String,
+    pub name: Symbol,
     pub ty: Type,
     pub span: Span,
     pub id: NodeId,
@@ -268,7 +269,7 @@ pub struct Param {
 /// A function definition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FuncDef {
-    pub name: String,
+    pub name: Symbol,
     pub params: Vec<Param>,
     /// Declared return type; `Type::None` when omitted.
     pub ret: Type,

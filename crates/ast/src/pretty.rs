@@ -161,7 +161,7 @@ impl Printer {
 
     fn target(&mut self, t: &Target) {
         match t {
-            Target::Name { name, .. } => self.out.push_str(name),
+            Target::Name { name, .. } => self.out.push_str(name.as_str()),
             Target::Index { base, index, .. } => {
                 self.expr_prec(base, 100);
                 self.out.push('[');
@@ -213,7 +213,7 @@ impl Printer {
             }
             ExprKind::Bool(v) => write!(self.out, "{v}").unwrap(),
             ExprKind::None => self.out.push_str("none"),
-            ExprKind::Var(name) => self.out.push_str(name),
+            ExprKind::Var(name) => self.out.push_str(name.as_str()),
             ExprKind::Unary { op, operand } => {
                 let need = min > 7;
                 if need {
@@ -335,7 +335,7 @@ fn tree_stmt(s: &Stmt, depth: usize, out: &mut String) {
         StmtKind::Expr(e) => writeln!(out, "Expr@{line} {}", expr_to_source(e)).unwrap(),
         StmtKind::Assign { target, op, value } => {
             let t = match target {
-                Target::Name { name, .. } => name.clone(),
+                Target::Name { name, .. } => name.to_string(),
                 Target::Index { base, index, .. } => {
                     format!("{}[{}]", expr_to_source(base), expr_to_source(index))
                 }

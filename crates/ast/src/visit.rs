@@ -164,7 +164,7 @@ impl Visitor for ParallelStats {
             StmtKind::ParallelFor { .. } => self.parallel_fors += 1,
             StmtKind::Lock { name, .. } => {
                 self.lock_blocks += 1;
-                self.lock_names.push(name.clone());
+                self.lock_names.push(name.to_string());
             }
             _ => {}
         }

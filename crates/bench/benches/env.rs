@@ -1,0 +1,70 @@
+//! E8 — environment-access microbenchmarks for the resolver's
+//! slot-addressed fast path (DESIGN.md, "Name resolution and slot
+//! layouts").
+//!
+//! Before the resolver, every identifier read and write in the
+//! tree-walking interpreter hashed the name and walked the frame chain's
+//! `HashMap`s; now a resolved identifier is one `RwLock` acquisition plus
+//! a vector index. These loops make variable access the entire workload:
+//!
+//! * a tight read/write loop over function-frame locals (1 thread);
+//! * a `parallel for` body writing worker-private names (1 and 4 threads);
+//! * a shadowed-access loop: workers reading names from the enclosing
+//!   shared frame while rebinding their own (1 and 4 threads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetra::{BufferConsole, InterpConfig, Tetra};
+use tetra_bench::compile;
+
+fn run_threads(p: &Tetra, threads: usize) {
+    let console = BufferConsole::new();
+    p.run_with(InterpConfig { worker_threads: threads, ..InterpConfig::default() }, console)
+        .unwrap();
+}
+
+fn bench_tight_read_write(c: &mut Criterion) {
+    // Locals only: every access resolves to (up 0, slot) in the single
+    // function frame.
+    let p = compile(
+        "def main():\n    x = 0\n    i = 0\n    while i < 30000:\n        x = x + i\n        i = i + 1\n    print(x)\n",
+    );
+    let mut group = c.benchmark_group("e8_env_access");
+    group.sample_size(10);
+    group.bench_function("tight_read_write_loop", |b| b.iter(|| run_threads(&p, 1)));
+    group.finish();
+}
+
+fn bench_worker_private(c: &mut Criterion) {
+    // Worker-private writes: the induction variable and a fresh name both
+    // live in the worker's layout-backed private frame.
+    let p = compile(
+        "def main():\n    parallel for i in [1 ... 20000]:\n        t = 0\n        t = t + i\n        t = t + 1\n",
+    );
+    let mut group = c.benchmark_group("e8_env_worker_private");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| run_threads(&p, t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_shadowed_access(c: &mut Criterion) {
+    // Shadowed access: workers read `base`/`scale` through the frame chain
+    // (resolved to the enclosing shared frame) while rebinding private `t`.
+    let p = compile(
+        "def main():\n    base = 7\n    scale = 3\n    parallel for i in [1 ... 20000]:\n        t = base + i\n        t = t + scale\n        t = t + base\n",
+    );
+    let mut group = c.benchmark_group("e8_env_shadowed");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| run_threads(&p, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tight_read_write, bench_worker_private, bench_shadowed_access);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ use tetra_bench::compile;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
-fn print_tables() {
+fn print_tables(c: &mut Criterion) {
     let rows = simulated_speedup(&programs::primes(20_000, 64), &THREADS).expect("primes sweep");
     eprintln!();
     eprint!(
@@ -27,16 +27,34 @@ fn print_tables() {
             &rows
         )
     );
+    // Record the deterministic virtual-time results in the JSON so CI can
+    // smoke-check the speedup curve (e.g. >1.5x at T=4) without rerunning.
+    for r in &rows {
+        c.report_value(
+            "e5_primes_virtual",
+            "virtual_elapsed_units",
+            Some(&r.threads.to_string()),
+            r.elapsed,
+        );
+    }
     let rows = simulated_speedup(&programs::tsp(9), &THREADS).expect("tsp sweep");
     eprint!(
         "{}",
         render_table("E6 — travelling salesman workload, virtual time (paper: ~5x at T=8)", &rows)
     );
+    for r in &rows {
+        c.report_value(
+            "e6_tsp_virtual",
+            "virtual_elapsed_units",
+            Some(&r.threads.to_string()),
+            r.elapsed,
+        );
+    }
     eprintln!();
 }
 
 fn bench_primes(c: &mut Criterion) {
-    print_tables();
+    print_tables(c);
     let program = compile(&programs::primes(4_000, 64));
     let bytecode = program.bytecode();
     let mut group = c.benchmark_group("e5_primes_sim");

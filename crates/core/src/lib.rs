@@ -277,6 +277,30 @@ mod tests {
     }
 
     #[test]
+    fn loop_var_shadowing_in_parallel_for_is_worker_private_in_both_engines() {
+        // A sequential `for v` inside a `parallel for` body rebinds `v` in
+        // the worker's private frame each iteration — it must never store
+        // through to an outer `v`, in either engine. (The VM compiler used
+        // to resolve the loop variable across the worker-scope boundary and
+        // emit a shared StoreOuter here.)
+        let src = "\
+def main():
+    v = 100
+    total = 0
+    parallel for i in [1 ... 4]:
+        s = 0
+        for v in [1 ... 3]:
+            s = s + v
+        lock acc:
+            total = total + s
+    print(v)
+    print(total)
+";
+        let p = Tetra::compile(src).unwrap();
+        assert_eq!(p.run_both(&[]).unwrap(), "100\n24\n");
+    }
+
+    #[test]
     fn deadlock_program_is_detected_not_hung() {
         let p = Tetra::compile(programs::DEADLOCK).unwrap();
         let err = p.run_captured(&[]).unwrap_err();

@@ -48,6 +48,32 @@ impl Default for Criterion {
 }
 
 impl Criterion {
+    /// Record a deterministic, externally computed scalar (e.g. a
+    /// virtual-time result from the VM simulator) as a result row next to
+    /// the wall-clock benchmarks, so it lands in `BENCH_<target>.json`
+    /// where CI smoke checks can read it.
+    pub fn report_value(
+        &mut self,
+        group: impl Into<String>,
+        name: impl Into<String>,
+        parameter: Option<&str>,
+        value_ns: u64,
+    ) {
+        if self.test_mode {
+            return;
+        }
+        self.results.push(BenchResult {
+            group: group.into(),
+            name: name.into(),
+            parameter: parameter.map(|p| p.to_string()),
+            samples: 1,
+            mean_ns: value_ns as u128,
+            min_ns: value_ns as u128,
+            max_ns: value_ns as u128,
+            throughput_bytes: None,
+        });
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, throughput: None }
     }

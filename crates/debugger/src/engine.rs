@@ -247,13 +247,13 @@ impl DebugHook for Debugger {
     fn on_event(&self, ev: &ExecEvent) {
         match ev {
             ExecEvent::Read { loc, name, id, line, locks } => {
-                self.race.lock().on_access(loc, name, *id, *line, locks, false);
+                self.race.lock().on_access(loc, name.as_str(), *id, *line, locks, false);
             }
             ExecEvent::Write { loc, name, id, line, locks } => {
-                self.race.lock().on_access(loc, name, *id, *line, locks, true);
+                self.race.lock().on_access(loc, name.as_str(), *id, *line, locks, true);
                 let mut st = self.state.lock();
-                if st.watches.contains(name) {
-                    st.watch_hits.push((*id, name.clone(), *line));
+                if st.watches.contains(name.as_str()) {
+                    st.watch_hits.push((*id, name.to_string(), *line));
                     st.modes.insert(*id, Mode::Pause);
                 }
             }

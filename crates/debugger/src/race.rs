@@ -17,6 +17,7 @@
 //! right teaching granularity: "this array is shared without a lock").
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use tetra_intern::Symbol;
 use tetra_interp::hooks::Loc;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +31,7 @@ enum Phase {
 struct VarState {
     phase: Phase,
     /// Candidate lockset (None until the variable becomes shared).
-    lockset: Option<BTreeSet<String>>,
+    lockset: Option<BTreeSet<Symbol>>,
     name: String,
 }
 
@@ -78,7 +79,7 @@ impl LocksetDetector {
         name: &str,
         thread: u32,
         line: u32,
-        held: &[String],
+        held: &[Symbol],
         is_write: bool,
     ) {
         self.live.insert(thread);
@@ -86,12 +87,12 @@ impl LocksetDetector {
             // The accessing thread runs alone: everything it touches is
             // (re-)owned by it — the join happens-before edge.
             self.vars.insert(
-                loc.clone(),
+                *loc,
                 VarState { phase: Phase::Exclusive(thread), lockset: None, name: name.to_string() },
             );
             return;
         }
-        let state = self.vars.entry(loc.clone()).or_insert_with(|| VarState {
+        let state = self.vars.entry(*loc).or_insert_with(|| VarState {
             phase: Phase::Exclusive(thread),
             lockset: None,
             name: name.to_string(),
@@ -119,7 +120,7 @@ impl LocksetDetector {
             && state.lockset.as_ref().is_some_and(|l| l.is_empty())
             && !self.reported.contains(loc)
         {
-            self.reported.insert(loc.clone());
+            self.reported.insert(*loc);
             let kind = if is_write { "written" } else { "read" };
             self.reports.push(RaceReport {
                 name: state.name.clone(),
@@ -134,7 +135,7 @@ impl LocksetDetector {
         }
     }
 
-    fn intersect(state: &mut VarState, held: &[String]) {
+    fn intersect(state: &mut VarState, held: &[Symbol]) {
         if let Some(lockset) = &mut state.lockset {
             lockset.retain(|l| held.contains(l));
         }
@@ -150,7 +151,7 @@ mod tests {
     use super::*;
 
     fn var_loc() -> Loc {
-        Loc::Frame(0x1000, "counter".into())
+        Loc::Frame(0x1000, 0)
     }
 
     #[test]
@@ -177,7 +178,7 @@ mod tests {
     #[test]
     fn consistently_locked_access_is_clean() {
         let mut d = LocksetDetector::new();
-        let m = vec!["m".to_string()];
+        let m: Vec<Symbol> = vec!["m".into()];
         d.on_access(&var_loc(), "counter", 0, 3, &m, true);
         d.on_access(&var_loc(), "counter", 1, 5, &m, true);
         d.on_access(&var_loc(), "counter", 2, 5, &m, false);
@@ -235,7 +236,7 @@ mod tests {
     #[test]
     fn distinct_locations_are_tracked_separately() {
         let mut d = LocksetDetector::new();
-        let a = Loc::Frame(0x1, "x".into());
+        let a = Loc::Frame(0x1, 0);
         let b = Loc::Obj(0x2);
         d.on_access(&a, "x", 0, 1, &[], true);
         d.on_access(&b, "[element]", 0, 2, &[], true);
@@ -250,7 +251,7 @@ mod tests {
         // Eraser flags the unlocked read of `largest` — a true (benign-by-
         // design) race the paper itself discusses; great teaching output.
         let mut d = LocksetDetector::new();
-        let m = vec!["largest".to_string()];
+        let m: Vec<Symbol> = vec!["largest".into()];
         d.on_access(&var_loc(), "largest", 1, 4, &[], false); // unlocked read
         d.on_access(&var_loc(), "largest", 2, 4, &[], false); // unlocked read
         d.on_access(&var_loc(), "largest", 1, 7, &m, true); // locked write

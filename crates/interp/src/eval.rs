@@ -9,6 +9,7 @@
 use crate::hooks::Loc;
 use crate::thread::{RootsView, ThreadCtx, MAX_CALL_DEPTH};
 use tetra_ast::{BinOp, Expr, ExprKind, FuncDef, UnOp};
+use tetra_intern::Symbol;
 use tetra_runtime::{DictKey, Env, ErrorKind, Object, RuntimeError, Value};
 use tetra_stdlib::ops;
 use tetra_stdlib::Builtin;
@@ -36,16 +37,40 @@ impl ThreadCtx {
             ExprKind::Bool(v) => Ok(Value::Bool(*v)),
             ExprKind::None => Ok(Value::None),
             ExprKind::Str(s) => Ok(self.alloc_string(s.clone())),
-            ExprKind::Var(name) => match self.current_env().get_located(name) {
-                Some((v, frame)) => {
-                    self.emit_read(Loc::Frame(frame, name.clone()), name);
-                    Ok(v)
+            ExprKind::Var(name) => {
+                // Hot path: the resolver assigned this access a static
+                // (frame, slot) coordinate — no hashing, no chain walk.
+                if let Some((up, slot)) = self.shared.typed.resolution.coord(e.id) {
+                    self.env_slot_hits += 1;
+                    let env = self.current_env();
+                    return match env.read_slot(up, slot) {
+                        Some(v) => {
+                            if self.shared.hook.is_some() {
+                                let frame = self.current_env().frame_addr(up);
+                                self.emit_read(Loc::Frame(frame, slot as u32), *name);
+                            }
+                            Ok(v)
+                        }
+                        None => Err(self.err(
+                            ErrorKind::UndefinedVariable,
+                            format!("variable `{name}` was read before any assignment"),
+                        )),
+                    };
                 }
-                None => Err(self.err(
-                    ErrorKind::UndefinedVariable,
-                    format!("variable `{name}` was read before any assignment"),
-                )),
-            },
+                self.env_dynamic_fallbacks += 1;
+                let (found, walked) = self.current_env().get_located_walked(*name);
+                self.env_chain_depth_walked += walked;
+                match found {
+                    Some((v, frame, slot)) => {
+                        self.emit_read(Loc::Frame(frame, slot as u32), *name);
+                        Ok(v)
+                    }
+                    None => Err(self.err(
+                        ErrorKind::UndefinedVariable,
+                        format!("variable `{name}` was read before any assignment"),
+                    )),
+                }
+            }
             ExprKind::Unary { op, operand } => {
                 let v = self.eval(operand)?;
                 match op {
@@ -54,7 +79,7 @@ impl ThreadCtx {
                 }
             }
             ExprKind::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
-            ExprKind::Call { callee, args } => self.eval_call(e, callee, args),
+            ExprKind::Call { callee, args } => self.eval_call(e, *callee, args),
             ExprKind::Index { base, index } => {
                 let mark = self.temp_mark();
                 let b = self.eval(base)?;
@@ -170,7 +195,7 @@ impl ThreadCtx {
         let v = with_ops!(self, |ctx| ops::index_read(ctx, base, index))?;
         if let Value::Obj(obj) = base {
             if matches!(obj.object(), Object::Array(_) | Object::Dict(_)) {
-                self.emit_read(Loc::Obj(obj.addr()), "[element]");
+                self.emit_read(Loc::Obj(obj.addr()), Symbol::intern("[element]"));
             }
         }
         Ok(v)
@@ -184,12 +209,17 @@ impl ThreadCtx {
     ) -> Result<(), RuntimeError> {
         with_ops!(self, |ctx| ops::index_write(ctx, base, index, new))?;
         if let Value::Obj(obj) = base {
-            self.emit_write(Loc::Obj(obj.addr()), "[element]");
+            self.emit_write(Loc::Obj(obj.addr()), Symbol::intern("[element]"));
         }
         Ok(())
     }
 
-    fn eval_call(&mut self, e: &Expr, callee: &str, args: &[Expr]) -> Result<Value, RuntimeError> {
+    fn eval_call(
+        &mut self,
+        e: &Expr,
+        callee: Symbol,
+        args: &[Expr],
+    ) -> Result<Value, RuntimeError> {
         let mark = self.temp_mark();
         for arg in args {
             let v = self.eval(arg)?;
@@ -201,9 +231,9 @@ impl ThreadCtx {
             Some(Callee::Builtin(b)) => self.call_builtin(b, &arg_values),
             // Reachable only when running unchecked ASTs (tests); resolve
             // dynamically with the same shadowing rule.
-            None => match self.shared.typed.program.func_index(callee) {
+            None => match self.shared.typed.program.func_index(callee.as_str()) {
                 Some(idx) => self.call_user(idx, &arg_values),
-                None => match Builtin::lookup(callee) {
+                None => match Builtin::lookup(callee.as_str()) {
                     Some(b) => self.call_builtin(b, &arg_values),
                     None => Err(self
                         .err(ErrorKind::UndefinedFunction, format!("unknown function `{callee}`"))),
@@ -224,16 +254,29 @@ impl ThreadCtx {
         let shared = self.shared.clone();
         let func: &FuncDef = &shared.typed.program.funcs[idx];
         debug_assert_eq!(func.params.len(), args.len());
-        let env = Env::new();
-        for (p, v) in func.params.iter().zip(args) {
-            env.define(&p.name, ops::widen_to(&p.ty, *v));
-        }
+        let layout = shared.typed.resolution.func_layout(idx);
+        let env = if layout.len() >= func.params.len() {
+            // Resolved layout: parameters occupy the leading slots.
+            let env = Env::new_with_layout(layout);
+            let frame = env.innermost();
+            for (i, (p, v)) in func.params.iter().zip(args).enumerate() {
+                frame.set_slot(i, ops::widen_to(&p.ty, *v));
+            }
+            env
+        } else {
+            // All-dynamic resolution (oracle/REPL): bind by name.
+            let env = Env::new();
+            for (p, v) in func.params.iter().zip(args) {
+                env.define(p.name, ops::widen_to(&p.ty, *v));
+            }
+            env
+        };
         self.env_stack.push(env);
         self.call_depth += 1;
         let saved_line = self.line;
         let call_start = tetra_obs::now_ns();
         let result = self.exec_block(&func.body);
-        tetra_obs::call(self.cell.id, &func.name, saved_line, call_start);
+        tetra_obs::call(self.cell.id, func.name.as_str(), saved_line, call_start);
         self.call_depth -= 1;
         self.env_stack.pop();
         self.line = saved_line;

@@ -15,8 +15,12 @@
 use crate::hooks::{ExecEvent, Loc};
 use crate::thread::{SpawnRoots, ThreadCtx, THREAD_STACK_SIZE};
 
-use tetra_ast::{AssignOp, Block, Expr, Stmt, StmtKind, Target};
-use tetra_runtime::{Env, ErrorKind, Object, RuntimeError, ThreadKind, ThreadState, Value};
+use std::sync::Arc;
+use tetra_ast::{AssignOp, Block, Expr, NodeId, Stmt, StmtKind, Target};
+use tetra_intern::Symbol;
+use tetra_runtime::{
+    Env, ErrorKind, Object, RuntimeError, SlotLayout, ThreadKind, ThreadState, Value,
+};
 
 /// Control flow result of a statement.
 #[derive(Debug)]
@@ -100,16 +104,24 @@ impl ThreadCtx {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::For { var, iter, body, .. } => {
+            StmtKind::For { var, var_id, iter, body } => {
                 let items = self.with_gil(|me| me.eval_iterable(iter))?;
                 // Keep the container (temps) rooted for the loop's duration.
                 let mark = self.temp_mark();
                 for v in &items {
                     self.push_temp(*v);
                 }
+                let coord = self.shared.typed.resolution.coord(*var_id);
                 let mut flow = Flow::Normal;
                 for item in items {
-                    self.current_env().define(var, item);
+                    match coord {
+                        Some((up, slot)) => {
+                            self.current_env().write_slot(up, slot, item);
+                        }
+                        None => {
+                            self.current_env().define(*var, item);
+                        }
+                    }
                     match self.exec_block(body)? {
                         Flow::Break => break,
                         Flow::Continue | Flow::Normal => {}
@@ -122,7 +134,7 @@ impl ThreadCtx {
                 self.truncate_temps(mark);
                 Ok(flow)
             }
-            StmtKind::Lock { name, body } => self.exec_lock(name, body, stmt.span.line),
+            StmtKind::Lock { name, body } => self.exec_lock(*name, body, stmt.span.line),
             StmtKind::Parallel { body } => {
                 self.exec_parallel(body)?;
                 Ok(Flow::Normal)
@@ -133,10 +145,10 @@ impl ThreadCtx {
             }
             StmtKind::ParallelFor { var, iter, body, .. } => {
                 let items = self.with_gil(|me| me.eval_iterable(iter))?;
-                self.exec_parallel_for(var, items, body)?;
+                self.exec_parallel_for(*var, stmt.id, items, body)?;
                 Ok(Flow::Normal)
             }
-            StmtKind::Try { body, err_name, handler, .. } => {
+            StmtKind::Try { body, err_name, err_id, handler } => {
                 match self.exec_block(body) {
                     Ok(flow) => Ok(flow),
                     // A debugger cancellation must tear the program down.
@@ -145,7 +157,14 @@ impl ThreadCtx {
                         // Bind the message and run the handler. Errors from
                         // spawned threads arrive here through their join.
                         let msg = self.alloc_string(e.message.clone());
-                        self.current_env().set(err_name, msg);
+                        match self.shared.typed.resolution.coord(*err_id) {
+                            Some((up, slot)) => {
+                                self.current_env().write_slot(up, slot, msg);
+                            }
+                            None => {
+                                self.current_env().set(*err_name, msg);
+                            }
+                        }
                         self.exec_block(handler)
                     }
                 }
@@ -192,11 +211,19 @@ impl ThreadCtx {
         value: &Expr,
     ) -> Result<(), RuntimeError> {
         match target {
-            Target::Name { name, .. } => {
+            Target::Name { name, id, .. } => {
+                if let Some((up, slot)) = self.shared.typed.resolution.coord(*id) {
+                    return self.assign_slot(*name, up, slot, op, value);
+                }
+                self.env_dynamic_fallbacks += 1;
+                // Dynamic fallback: resolve the name once; the compound read
+                // and the write go through the same located frame.
+                let (found, walked) = self.current_env().get_located_walked(*name);
+                self.env_chain_depth_walked += walked;
                 let new = match op.binop() {
                     None => self.eval(value)?,
                     Some(binop) => {
-                        let current = self.current_env().get(name).ok_or_else(|| {
+                        let (current, _, _) = found.ok_or_else(|| {
                             self.err(
                                 ErrorKind::UndefinedVariable,
                                 format!("variable `{name}` was read before any assignment"),
@@ -212,9 +239,9 @@ impl ThreadCtx {
                     }
                 };
                 // Keep runtime reals real when the checker said so.
-                let new = tetra_stdlib::ops::widen_like(self.current_env().get(name), new);
-                let frame = self.current_env().set_located(name, new);
-                self.emit_write(Loc::Frame(frame, name.clone()), name);
+                let new = tetra_stdlib::ops::widen_like(found.map(|(v, _, _)| v), new);
+                let (frame, slot) = self.current_env().set_located(*name, new);
+                self.emit_write(Loc::Frame(frame, slot as u32), *name);
                 Ok(())
             }
             Target::Index { base, index, .. } => {
@@ -243,24 +270,63 @@ impl ThreadCtx {
         }
     }
 
+    /// Assignment through a static (frame, slot) coordinate: one indexed
+    /// read for compound operators, one indexed write, no chain walk.
+    fn assign_slot(
+        &mut self,
+        name: Symbol,
+        up: usize,
+        slot: usize,
+        op: AssignOp,
+        value: &Expr,
+    ) -> Result<(), RuntimeError> {
+        self.env_slot_hits += 1;
+        let current = self.current_env().read_slot(up, slot);
+        let new = match op.binop() {
+            None => self.eval(value)?,
+            Some(binop) => {
+                let current = current.ok_or_else(|| {
+                    self.err(
+                        ErrorKind::UndefinedVariable,
+                        format!("variable `{name}` was read before any assignment"),
+                    )
+                })?;
+                let mark = self.temp_mark();
+                self.push_temp(current);
+                let rhs = self.eval(value)?;
+                self.push_temp(rhs);
+                let out = self.apply_binop(binop, current, rhs);
+                self.truncate_temps(mark);
+                out?
+            }
+        };
+        // Keep runtime reals real when the checker said so.
+        let new = tetra_stdlib::ops::widen_like(current, new);
+        let frame = self.current_env().write_slot(up, slot, new);
+        if self.shared.hook.is_some() {
+            self.emit_write(Loc::Frame(frame, slot as u32), name);
+        }
+        Ok(())
+    }
+
     // ---- parallel constructs ------------------------------------------------
 
-    fn exec_lock(&mut self, name: &str, body: &Block, line: u32) -> Result<Flow, RuntimeError> {
+    fn exec_lock(&mut self, name: Symbol, body: &Block, line: u32) -> Result<Flow, RuntimeError> {
         let tid = self.cell.id;
-        self.emit(ExecEvent::LockWait { id: tid, name: name.to_string(), line });
+        self.emit(ExecEvent::LockWait { id: tid, name, line });
         self.cell.set_state(ThreadState::WaitingLock);
         self.cell.set_waiting_lock(Some(name.to_string()));
         let locks = self.shared.locks.clone();
-        let acquired = self.safe_region(|| locks.acquire(tid, name, line));
+        let acquired = self.safe_region(|| locks.acquire(tid, name.as_str(), line));
         self.cell.set_waiting_lock(None);
         self.cell.set_state(ThreadState::Running);
         acquired?;
-        self.emit(ExecEvent::LockAcquired { id: tid, name: name.to_string(), line });
-        self.held_locks.push(name.to_string());
+        self.emit(ExecEvent::LockAcquired { id: tid, name, line });
+        self.held_locks.push(name);
         let result = self.exec_block(body);
         self.held_locks.pop();
-        self.shared.locks.release(tid, name);
-        self.emit(ExecEvent::LockReleased { id: tid, name: name.to_string() });
+        self.shared.locks.release(tid, name.as_str());
+        self.emit(ExecEvent::LockReleased { id: tid, name });
         result
     }
 
@@ -316,7 +382,8 @@ impl ThreadCtx {
 
     fn exec_parallel_for(
         &mut self,
-        var: &str,
+        var: Symbol,
+        stmt_id: NodeId,
         items: Vec<Value>,
         body: &Block,
     ) -> Result<(), RuntimeError> {
@@ -325,14 +392,17 @@ impl ThreadCtx {
         }
         let workers = self.shared.config.worker_threads.clamp(1, items.len());
         let frames = self.current_env().frames().to_vec();
+        // The resolver's worker-frame layout puts the induction variable at
+        // slot 0; an empty layout means all-dynamic resolution.
+        let layout = self.shared.typed.resolution.pfor_layout(stmt_id);
         // Contiguous chunks, as even as possible.
         let per = items.len().div_ceil(workers);
         let mut handles = Vec::with_capacity(workers);
         for chunk in items.chunks(per) {
             let chunk: Vec<Value> = chunk.to_vec();
             let shared = self.shared.clone();
-            let var = var.to_string();
             let body: Block = body.clone();
+            let layout: Arc<SlotLayout> = layout.clone();
             let guard = shared
                 .heap
                 .register_spawned(&SpawnRoots { frames: frames.clone(), values: chunk.clone() });
@@ -344,7 +414,8 @@ impl ThreadCtx {
                 line: self.line,
             });
             // The worker's private frame holds its induction variable copy.
-            let env = Env::from_frames(frames.clone()).with_private_frame();
+            let use_slots = !layout.is_empty();
+            let env = Env::from_frames(frames.clone()).with_private_layout(layout);
             let handle = std::thread::Builder::new()
                 .name(format!("tetra-{}", cell.id))
                 .stack_size(THREAD_STACK_SIZE)
@@ -352,7 +423,11 @@ impl ThreadCtx {
                     let mut ctx = ThreadCtx::new_child(shared, guard, cell, env, chunk.clone());
                     let mut result = Ok(());
                     for item in chunk {
-                        ctx.current_env().define(&var, item);
+                        if use_slots {
+                            ctx.current_env().write_slot(0, 0, item);
+                        } else {
+                            ctx.current_env().define(var, item);
+                        }
                         if let Err(e) = ctx.exec_block(&body) {
                             result = Err(e);
                             break;
@@ -405,6 +480,13 @@ impl ThreadCtx {
     /// Mark the thread finished and emit its end event.
     pub fn finish_thread(&mut self) {
         self.cell.set_state(ThreadState::Finished);
+        // Flush this thread's environment-access counters in one shot; the
+        // hot paths only bump plain fields.
+        if tetra_obs::metrics_enabled() {
+            tetra_obs::metrics::counter_add("env.slot_hits", self.env_slot_hits);
+            tetra_obs::metrics::counter_add("env.dynamic_fallbacks", self.env_dynamic_fallbacks);
+            tetra_obs::metrics::counter_add("env.chain_depth_walked", self.env_chain_depth_walked);
+        }
         if tetra_obs::enabled() {
             let name = match self.cell.kind {
                 ThreadKind::Main => "main".to_string(),

@@ -6,6 +6,7 @@
 //! source line, with access to the thread's variables. The `tetra-debugger`
 //! crate implements the hook; the interpreter stays UI-agnostic.
 
+use tetra_intern::Symbol;
 use tetra_runtime::{RuntimeError, ThreadKind, Value};
 
 /// What the engine should do after a statement hook.
@@ -22,10 +23,13 @@ pub enum HookDecision {
 
 /// Identity of a memory location for the race detector: a variable slot in
 /// a specific frame, or a whole heap object (array/dict element accesses).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// Frame slots are keyed by `(frame address, slot index)` — two integers —
+/// so race bookkeeping never hashes strings; the source-level name travels
+/// separately in the event for display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Loc {
-    /// (frame address, variable name).
-    Frame(usize, String),
+    /// (frame address, slot index within the frame).
+    Frame(usize, u32),
     /// Heap object address.
     Obj(usize),
 }
@@ -49,33 +53,33 @@ pub enum ExecEvent {
     },
     LockWait {
         id: u32,
-        name: String,
+        name: Symbol,
         line: u32,
     },
     LockAcquired {
         id: u32,
-        name: String,
+        name: Symbol,
         line: u32,
     },
     LockReleased {
         id: u32,
-        name: String,
+        name: Symbol,
     },
     /// A variable or element read. `locks` is the thread's held lockset.
     Read {
         id: u32,
         loc: Loc,
-        name: String,
+        name: Symbol,
         line: u32,
-        locks: Vec<String>,
+        locks: Vec<Symbol>,
     },
     /// A variable or element write.
     Write {
         id: u32,
         loc: Loc,
-        name: String,
+        name: Symbol,
         line: u32,
-        locks: Vec<String>,
+        locks: Vec<Symbol>,
     },
 }
 

@@ -10,6 +10,7 @@ use crate::hooks::{ExecEvent, HookDecision, HookPoint, Inspect, Loc};
 use crate::Shared;
 use std::sync::Arc;
 use tetra_ast::Stmt;
+use tetra_intern::Symbol;
 use tetra_runtime::{
     Env, ErrorKind, FrameRef, GcRef, MutatorGuard, Object, RootSink, RootSource, RuntimeError,
     ThreadCell, ThreadState, Value,
@@ -32,12 +33,18 @@ pub(crate) struct ThreadCtx {
     /// Temporary GC roots: intermediate values alive across GC points.
     pub temps: Vec<Value>,
     /// Lock names this thread currently holds, innermost last.
-    pub held_locks: Vec<String>,
+    pub held_locks: Vec<Symbol>,
     pub call_depth: u32,
     /// Line of the statement currently executing.
     pub line: u32,
     /// Trace timestamp of this thread's start (0 when tracing is off).
     pub span_start_ns: u64,
+    /// Variable accesses served by a static (frame, slot) coordinate.
+    pub env_slot_hits: u64,
+    /// Variable accesses that fell back to the name-based chain walk.
+    pub env_dynamic_fallbacks: u64,
+    /// Total frames visited by those fallback walks.
+    pub env_chain_depth_walked: u64,
 }
 
 /// Borrowed root view over a `ThreadCtx`'s state (avoids aliasing issues
@@ -93,6 +100,9 @@ impl ThreadCtx {
             call_depth: 0,
             line: 0,
             span_start_ns: tetra_obs::now_ns(),
+            env_slot_hits: 0,
+            env_dynamic_fallbacks: 0,
+            env_chain_depth_walked: 0,
         }
     }
 
@@ -117,6 +127,9 @@ impl ThreadCtx {
             call_depth: 0,
             line: 0,
             span_start_ns: tetra_obs::now_ns(),
+            env_slot_hits: 0,
+            env_dynamic_fallbacks: 0,
+            env_chain_depth_walked: 0,
         }
     }
 
@@ -214,24 +227,24 @@ impl ThreadCtx {
         }
     }
 
-    pub fn emit_read(&self, loc: Loc, name: &str) {
+    pub fn emit_read(&self, loc: Loc, name: Symbol) {
         if let Some(hook) = &self.shared.hook {
             hook.on_event(&ExecEvent::Read {
                 id: self.cell.id,
                 loc,
-                name: name.to_string(),
+                name,
                 line: self.line,
                 locks: self.held_locks.clone(),
             });
         }
     }
 
-    pub fn emit_write(&self, loc: Loc, name: &str) {
+    pub fn emit_write(&self, loc: Loc, name: Symbol) {
         if let Some(hook) = &self.shared.hook {
             hook.on_event(&ExecEvent::Write {
                 id: self.cell.id,
                 loc,
-                name: name.to_string(),
+                name,
                 line: self.line,
                 locks: self.held_locks.clone(),
             });

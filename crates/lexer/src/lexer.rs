@@ -13,6 +13,7 @@
 use crate::diag::{Diagnostic, Stage};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
+use tetra_intern::Symbol;
 
 /// How many columns a tab character advances. Mixing tabs and spaces is
 /// accepted as long as the resulting column counts are consistent.
@@ -248,7 +249,8 @@ impl<'s> Lexer<'s> {
         }
         let text = &self.src[start..self.pos];
         let span = Span::new(start as u32, self.pos as u32, span0.line, span0.col);
-        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        let kind =
+            TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(Symbol::intern(text)));
         self.out.push(Token::new(kind, span));
     }
 

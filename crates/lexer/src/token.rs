@@ -1,6 +1,7 @@
 //! Token definitions for the Tetra language.
 
 use crate::span::Span;
+use tetra_intern::Symbol;
 
 /// Every lexical category Tetra knows about.
 ///
@@ -16,8 +17,9 @@ pub enum TokenKind {
     /// `true` / `false` keywords, carried with their value.
     Bool(bool),
 
-    /// An identifier (variable, function or lock name).
-    Ident(String),
+    /// An identifier (variable, function or lock name), interned so every
+    /// later stage compares and hashes names as integers.
+    Ident(Symbol),
 
     // Keywords
     Def,

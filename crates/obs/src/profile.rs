@@ -225,6 +225,24 @@ pub fn report(trace: &Trace, source_lines: Option<&[String]>) -> String {
         }
     }
 
+    // --- environment access --------------------------------------------------
+    // Counters flushed by the interpreter's variable hot path: slot-resolved
+    // accesses vs dynamic name-walk fallbacks (see DESIGN.md on the resolver).
+    let slot_hits = trace.metrics.counters.get("env.slot_hits").copied().unwrap_or(0);
+    let dynamic = trace.metrics.counters.get("env.dynamic_fallbacks").copied().unwrap_or(0);
+    let walked = trace.metrics.counters.get("env.chain_depth_walked").copied().unwrap_or(0);
+    if slot_hits + dynamic > 0 {
+        let total = slot_hits + dynamic;
+        out.push_str(&format!(
+            "\n-- environment access --\nslot-resolved: {} ({:.1}%)   dynamic fallbacks: {}   \
+             frames walked in fallbacks: {}\n",
+            slot_hits,
+            100.0 * slot_hits as f64 / total as f64,
+            dynamic,
+            walked
+        ));
+    }
+
     // --- VM ------------------------------------------------------------------
     let mut batches = SpanStat::default();
     let mut instructions: u64 = 0;
@@ -299,5 +317,21 @@ mod tests {
         let text = report(&Trace::default(), None);
         assert!(text.contains("lock contention"));
         assert!(text.contains("gc pauses"));
+        // The environment-access section only appears once the interpreter
+        // flushed its counters.
+        assert!(!text.contains("environment access"));
+    }
+
+    #[test]
+    fn env_counters_render_with_slot_hit_ratio() {
+        let mut trace = Trace::default();
+        trace.metrics.counters.insert("env.slot_hits".into(), 75);
+        trace.metrics.counters.insert("env.dynamic_fallbacks".into(), 25);
+        trace.metrics.counters.insert("env.chain_depth_walked".into(), 40);
+        let text = report(&trace, None);
+        assert!(text.contains("environment access"), "{text}");
+        assert!(text.contains("slot-resolved: 75 (75.0%)"), "{text}");
+        assert!(text.contains("dynamic fallbacks: 25"), "{text}");
+        assert!(text.contains("frames walked in fallbacks: 40"), "{text}");
     }
 }

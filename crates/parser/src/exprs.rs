@@ -16,6 +16,7 @@
 
 use crate::parser::Parser;
 use tetra_ast::*;
+use tetra_intern::Symbol;
 use tetra_lexer::{Diagnostic, Stage, TokenKind};
 
 /// Maximum expression nesting (parentheses, unary chains, literals).
@@ -249,7 +250,7 @@ impl Parser {
                 }
                 let rp = self.expect(&TokenKind::RParen)?;
                 let cspan = span.to(rp.span);
-                Ok(self.mk(ExprKind::Call { callee: callee.to_string(), args }, cspan))
+                Ok(self.mk(ExprKind::Call { callee: Symbol::intern(callee), args }, cspan))
             }
             TokenKind::Ident(name) => {
                 self.bump();

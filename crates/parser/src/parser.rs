@@ -2,6 +2,7 @@
 //! statements. Expression parsing lives in [`crate::exprs`].
 
 use tetra_ast::*;
+use tetra_intern::Symbol;
 use tetra_lexer::{Diagnostic, Span, Stage, Token, TokenKind};
 
 /// Parse a complete Tetra source file into a [`Program`].
@@ -80,7 +81,7 @@ impl Parser {
         id
     }
 
-    pub(crate) fn expect_ident(&mut self, what: &str) -> Result<(String, Span), Diagnostic> {
+    pub(crate) fn expect_ident(&mut self, what: &str) -> Result<(Symbol, Span), Diagnostic> {
         match self.peek().clone() {
             TokenKind::Ident(name) => {
                 let t = self.bump();
@@ -382,7 +383,7 @@ impl Parser {
     }
 
     /// The common tail of `for` and `parallel for`: `var in seq: block`.
-    fn for_tail(&mut self) -> Result<(String, Expr, Block), Diagnostic> {
+    fn for_tail(&mut self) -> Result<(Symbol, Expr, Block), Diagnostic> {
         let (var, _) = self.expect_ident("a loop variable")?;
         self.expect(&TokenKind::In)?;
         let iter = self.expr()?;

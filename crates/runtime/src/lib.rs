@@ -22,7 +22,7 @@ pub mod threads;
 pub mod value;
 
 pub use console::{BufferConsole, Console, ConsoleRef, StdConsole};
-pub use env::{Env, Frame, FrameRef};
+pub use env::{Env, Frame, FrameRef, SlotLayout};
 pub use error::{ErrorKind, RuntimeError};
 pub use heap::{GcStats, Heap, HeapConfig, MutatorGuard, NoRoots, RootSink, RootSource};
 pub use locks::{LockRegistry, LockRegistryRef};

@@ -15,8 +15,10 @@
 //! * empty `[]` / `{}` literals need an expected type from context
 //!   (assignment to a typed variable, argument, or return position).
 
+use crate::resolve::Resolution;
 use std::collections::HashMap;
 use tetra_ast::*;
+use tetra_intern::Symbol;
 use tetra_lexer::{Diagnostic, Span, Stage};
 use tetra_stdlib::{check_builtin_call, compatible, Builtin};
 
@@ -38,7 +40,10 @@ pub struct TypedProgram {
     /// Resolution of every call expression, keyed by the call's `NodeId`.
     pub callees: HashMap<NodeId, Callee>,
     /// Inferred type of each local, keyed by (function index, name).
-    pub var_types: HashMap<(usize, String), Type>,
+    pub var_types: HashMap<(usize, Symbol), Type>,
+    /// Static (frame, slot) coordinates and frame layouts from the
+    /// resolution pass; drives the engines' indexed variable access.
+    pub resolution: Resolution,
 }
 
 impl TypedProgram {
@@ -49,7 +54,7 @@ impl TypedProgram {
 
     /// Inferred type of a local variable in function `func`.
     pub fn var_type(&self, func: usize, name: &str) -> Option<&Type> {
-        self.var_types.get(&(func, name.to_string()))
+        self.var_types.get(&(func, Symbol::intern(name)))
     }
 }
 
@@ -62,11 +67,13 @@ pub fn check(program: Program) -> Result<TypedProgram, Vec<Diagnostic>> {
     }
     checker.check_main(&program);
     if checker.errors.is_empty() {
+        let resolution = crate::resolve::resolve(&program);
         Ok(TypedProgram {
             program,
             expr_types: checker.expr_types,
             callees: checker.callees,
             var_types: checker.var_types,
+            resolution,
         })
     } else {
         Err(checker.errors)
@@ -80,13 +87,13 @@ struct FuncSig {
 }
 
 struct Checker {
-    sigs: HashMap<String, FuncSig>,
+    sigs: HashMap<Symbol, FuncSig>,
     errors: Vec<Diagnostic>,
     expr_types: HashMap<NodeId, Type>,
     callees: HashMap<NodeId, Callee>,
-    var_types: HashMap<(usize, String), Type>,
+    var_types: HashMap<(usize, Symbol), Type>,
     // Per-function state:
-    locals: HashMap<String, Type>,
+    locals: HashMap<Symbol, Type>,
     current_func: usize,
     current_ret: Type,
     loop_depth: u32,
@@ -105,7 +112,7 @@ impl Checker {
         let mut sigs = HashMap::new();
         for (index, f) in program.funcs.iter().enumerate() {
             sigs.insert(
-                f.name.clone(),
+                f.name,
                 FuncSig {
                     index,
                     params: f.params.iter().map(|p| p.ty.clone()).collect(),
@@ -171,7 +178,7 @@ impl Checker {
         self.loop_depth = 0;
         self.parallel_ctx = None;
         for p in &func.params {
-            self.locals.insert(p.name.clone(), p.ty.clone());
+            self.locals.insert(p.name, p.ty.clone());
         }
         let returns = self.check_block(&func.body);
         if func.ret != Type::None && !returns {
@@ -238,7 +245,7 @@ impl Checker {
             }
             StmtKind::For { var, var_id, iter, body } => {
                 let elem = self.check_iterable(iter)?;
-                self.bind_loop_var(var, elem.clone(), *var_id, stmt.span)?;
+                self.bind_loop_var(*var, elem.clone(), *var_id, stmt.span)?;
                 self.expr_types.insert(*var_id, elem);
                 self.loop_depth += 1;
                 self.check_block(body);
@@ -247,7 +254,7 @@ impl Checker {
             }
             StmtKind::ParallelFor { var, var_id, iter, body } => {
                 let elem = self.check_iterable(iter)?;
-                self.bind_loop_var(var, elem.clone(), *var_id, stmt.span)?;
+                self.bind_loop_var(*var, elem.clone(), *var_id, stmt.span)?;
                 self.expr_types.insert(*var_id, elem);
                 let saved = self.parallel_ctx;
                 let saved_depth = self.loop_depth;
@@ -340,7 +347,7 @@ impl Checker {
                 // The error variable binds the message as a string.
                 match self.locals.get(err_name) {
                     None => {
-                        self.locals.insert(err_name.clone(), Type::Str);
+                        self.locals.insert(*err_name, Type::Str);
                     }
                     Some(t) if *t == Type::Str => {}
                     Some(other) => {
@@ -360,10 +367,10 @@ impl Checker {
         }
     }
 
-    fn bind_loop_var(&mut self, var: &str, elem: Type, _id: NodeId, span: Span) -> CResult<()> {
-        match self.locals.get(var) {
+    fn bind_loop_var(&mut self, var: Symbol, elem: Type, _id: NodeId, span: Span) -> CResult<()> {
+        match self.locals.get(&var) {
             None => {
-                self.locals.insert(var.to_string(), elem);
+                self.locals.insert(var, elem);
                 Ok(())
             }
             Some(existing) if *existing == elem => Ok(()),
@@ -420,7 +427,7 @@ impl Checker {
                                         value.span,
                                     ));
                                 }
-                                self.locals.insert(name.clone(), vt.clone());
+                                self.locals.insert(*name, vt.clone());
                                 self.expr_types.insert(*id, vt);
                             }
                             Some(et) => {
@@ -633,7 +640,7 @@ impl Checker {
                 let rt = self.infer(rhs, None)?;
                 self.binary_result(*op, &lt, &rt, e.span)
             }
-            ExprKind::Call { callee, args } => self.check_call(e, callee, args, expected),
+            ExprKind::Call { callee, args } => self.check_call(e, *callee, args, expected),
             ExprKind::Index { base, index } => {
                 let bt = self.infer(base, None)?;
                 match &bt {
@@ -811,12 +818,12 @@ impl Checker {
     fn check_call(
         &mut self,
         e: &Expr,
-        callee: &str,
+        callee: Symbol,
         args: &[Expr],
         expected: Option<&Type>,
     ) -> CResult<Type> {
         // User functions shadow builtins.
-        if let Some(sig) = self.sigs.get(callee) {
+        if let Some(sig) = self.sigs.get(&callee) {
             let (index, params, ret) = (sig.index, sig.params.clone(), sig.ret.clone());
             if args.len() != params.len() {
                 return Err(self.error(
@@ -837,7 +844,7 @@ impl Checker {
             return Ok(ret);
         }
         let _ = expected;
-        if let Some(b) = Builtin::lookup(callee) {
+        if let Some(b) = Builtin::lookup(callee.as_str()) {
             let mut arg_types = Vec::with_capacity(args.len());
             for arg in args {
                 arg_types.push(self.infer(arg, None)?);
@@ -850,10 +857,10 @@ impl Checker {
                 Err(msg) => Err(self.error(msg, e.span)),
             };
         }
-        let mut close: Option<&str> = None;
+        let mut close: Option<Symbol> = None;
         for candidate in self.sigs.keys() {
-            if candidate.eq_ignore_ascii_case(callee) {
-                close = Some(candidate);
+            if candidate.as_str().eq_ignore_ascii_case(callee.as_str()) {
+                close = Some(*candidate);
                 break;
             }
         }

@@ -10,8 +10,10 @@
 //! bytecode compiler and the debugger.
 
 mod check;
+pub mod resolve;
 
 pub use check::{check, Callee, TypedProgram};
+pub use resolve::{Resolution, DYNAMIC};
 
 #[cfg(test)]
 mod tests {

@@ -15,6 +15,7 @@
 use crate::bytecode::*;
 use std::collections::HashMap;
 use tetra_ast::{AssignOp, BinOp, Block, Expr, ExprKind, Stmt, StmtKind, Target, Type, UnOp};
+use tetra_intern::Symbol;
 use tetra_stdlib::Builtin;
 use tetra_types::{Callee, TypedProgram};
 
@@ -26,7 +27,7 @@ pub fn compile(typed: &TypedProgram) -> CompiledProgram {
     // Reserve function unit slots so thunk indices follow them.
     for f in &typed.program.funcs {
         c.units.push(CodeUnit {
-            name: f.name.clone(),
+            name: f.name.to_string(),
             kind: UnitKind::Function,
             params: f.params.len() as u16,
             nlocals: 0,
@@ -37,7 +38,7 @@ pub fn compile(typed: &TypedProgram) -> CompiledProgram {
     for (idx, f) in typed.program.funcs.iter().enumerate() {
         let mut fc = FnCompiler::new(&mut c, idx);
         for p in &f.params {
-            fc.define_named(&p.name);
+            fc.define_named(p.name);
         }
         fc.set_line(f.span.line);
         fc.block(&f.body);
@@ -91,7 +92,7 @@ impl Compiler<'_> {
 }
 
 struct Scope {
-    names: HashMap<String, u16>,
+    names: HashMap<Symbol, u16>,
     nlocals: u16,
     transparent: bool,
 }
@@ -119,7 +120,7 @@ struct FnCompiler<'c, 't> {
 
 impl<'c, 't> FnCompiler<'c, 't> {
     fn new(comp: &'c mut Compiler<'t>, func_idx: usize) -> Self {
-        let name = comp.typed.program.funcs[func_idx].name.clone();
+        let name = comp.typed.program.funcs[func_idx].name.to_string();
         let params = comp.typed.program.funcs[func_idx].params.len() as u16;
         FnCompiler {
             comp,
@@ -178,9 +179,9 @@ impl<'c, 't> FnCompiler<'c, 't> {
     // ---- scopes ---------------------------------------------------------------
 
     /// Resolve a name to (depth, slot); depth 0 is the current unit.
-    fn resolve(&self, name: &str) -> Option<(u8, u16)> {
+    fn resolve(&self, name: Symbol) -> Option<(u8, u16)> {
         for (d, scope) in self.scopes.iter().rev().enumerate() {
-            if let Some(&slot) = scope.names.get(name) {
+            if let Some(&slot) = scope.names.get(&name) {
                 return Some((d as u8, slot));
             }
         }
@@ -188,7 +189,7 @@ impl<'c, 't> FnCompiler<'c, 't> {
     }
 
     /// Define a named variable: in the innermost *non-transparent* scope.
-    fn define_named(&mut self, name: &str) -> (u8, u16) {
+    fn define_named(&mut self, name: Symbol) -> (u8, u16) {
         let depth = self
             .scopes
             .iter()
@@ -199,7 +200,7 @@ impl<'c, 't> FnCompiler<'c, 't> {
         let scope = &mut self.scopes[idx];
         let slot = scope.nlocals;
         scope.nlocals += 1;
-        scope.names.insert(name.to_string(), slot);
+        scope.names.insert(name, slot);
         (depth as u8, slot)
     }
 
@@ -228,11 +229,29 @@ impl<'c, 't> FnCompiler<'c, 't> {
     }
 
     /// Resolve-or-define for assignment targets.
-    fn target_slot(&mut self, name: &str) -> (u8, u16) {
+    fn target_slot(&mut self, name: Symbol) -> (u8, u16) {
         match self.resolve(name) {
             Some(x) => x,
             None => self.define_named(name),
         }
+    }
+
+    /// Slot for a `for` loop's induction variable. The interpreter *defines*
+    /// the variable in the innermost frame each iteration, so the walk must
+    /// not cross a worker-scope boundary: a `for v` inside a `parallel for`
+    /// body gets a worker-private `v` even when an outer `v` exists.
+    /// Transparent (`parallel:` child) scopes are crossed, as the
+    /// interpreter shares the function frame with those children.
+    fn loop_var_slot(&mut self, name: Symbol) -> (u8, u16) {
+        for (d, scope) in self.scopes.iter().rev().enumerate() {
+            if let Some(&slot) = scope.names.get(&name) {
+                return (d as u8, slot);
+            }
+            if !scope.transparent {
+                break;
+            }
+        }
+        self.define_named(name)
     }
 
     // ---- thunks ---------------------------------------------------------------
@@ -370,7 +389,7 @@ impl<'c, 't> FnCompiler<'c, 't> {
                 self.emit(Instr::Const(zero));
                 let i = self.define_hidden();
                 self.emit(Instr::StoreLocal(i));
-                let (vd, vs) = self.target_slot(var);
+                let (vd, vs) = self.loop_var_slot(*var);
                 let top = self.here();
                 self.emit(Instr::LoadLocal(i));
                 self.emit(Instr::LoadLocal(seq));
@@ -423,7 +442,7 @@ impl<'c, 't> FnCompiler<'c, 't> {
                 }
             }
             StmtKind::Lock { name, body } => {
-                let c = self.comp.intern(Const::Str(name.clone()));
+                let c = self.comp.intern(Const::Str(name.to_string()));
                 self.emit(Instr::EnterLock(c));
                 self.block(body);
                 self.set_line(s.span.line);
@@ -456,7 +475,7 @@ impl<'c, 't> FnCompiler<'c, 't> {
                         *t = handler_ip;
                     }
                 }
-                let (d, slot) = self.target_slot(err_name);
+                let (d, slot) = self.target_slot(*err_name);
                 self.store(d, slot);
                 self.block(handler);
                 self.patch_jump(skip);
@@ -464,11 +483,11 @@ impl<'c, 't> FnCompiler<'c, 't> {
             StmtKind::ParallelFor { var, iter, body, .. } => {
                 self.expr(iter);
                 let name = format!("parallel-for@{}", s.span.line);
-                let var = var.clone();
+                let var = *var;
                 let body = body.clone();
                 let t = self.thunk(UnitKind::ParallelForBody, name, 1, |me| {
                     // Slot 0 of the thunk is the private induction variable.
-                    me.scopes.last_mut().unwrap().names.insert(var.clone(), 0);
+                    me.scopes.last_mut().unwrap().names.insert(var, 0);
                     me.block(&body);
                 });
                 self.set_line(s.span.line);
@@ -508,12 +527,12 @@ impl<'c, 't> FnCompiler<'c, 't> {
             Target::Name { name, .. } => match op.binop() {
                 None => {
                     self.expr(value);
-                    self.widen_for_var(name, value);
-                    let (d, s) = self.target_slot(name);
+                    self.widen_for_var(*name, value);
+                    let (d, s) = self.target_slot(*name);
                     self.store(d, s);
                 }
                 Some(binop) => {
-                    let (d, s) = self.target_slot(name);
+                    let (d, s) = self.target_slot(*name);
                     self.load(d, s);
                     self.expr(value);
                     self.emit(Instr::Bin(binop));
@@ -549,8 +568,8 @@ impl<'c, 't> FnCompiler<'c, 't> {
         }
     }
 
-    fn widen_for_var(&mut self, name: &str, value: &Expr) {
-        let ty = self.comp.typed.var_type(self.func_idx, name).cloned();
+    fn widen_for_var(&mut self, name: Symbol, value: &Expr) {
+        let ty = self.comp.typed.var_types.get(&(self.func_idx, name)).cloned();
         if let Some(ty) = ty {
             self.maybe_widen(&ty, value);
         }
@@ -580,12 +599,12 @@ impl<'c, 't> FnCompiler<'c, 't> {
                 let c = self.comp.intern(Const::Str(s.clone()));
                 self.emit(Instr::Const(c));
             }
-            ExprKind::Var(name) => match self.resolve(name) {
+            ExprKind::Var(name) => match self.resolve(*name) {
                 Some((d, s)) => self.load(d, s),
                 None => {
                     // Unreachable after checking; compile to a slot that
                     // will read as unassigned.
-                    let (d, s) = self.define_named(name);
+                    let (d, s) = self.define_named(*name);
                     self.load(d, s);
                 }
             },
@@ -639,12 +658,12 @@ impl<'c, 't> FnCompiler<'c, 't> {
                     }
                     None => {
                         // Unchecked AST fallback: user functions shadow builtins.
-                        if let Some(idx) = self.comp.typed.program.func_index(callee) {
+                        if let Some(idx) = self.comp.typed.program.func_index(callee.as_str()) {
                             for arg in args {
                                 self.expr(arg);
                             }
                             self.emit(Instr::Call(idx as u16, args.len() as u8));
-                        } else if let Some(b) = Builtin::lookup(callee) {
+                        } else if let Some(b) = Builtin::lookup(callee.as_str()) {
                             for arg in args {
                                 self.expr(arg);
                             }

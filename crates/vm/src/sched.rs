@@ -225,7 +225,44 @@ impl<'p> Scheduler<'p> {
             let mut pending: Option<Outcome> = None;
             let dispatch_start = tetra_obs::now_ns();
             let mut dispatched: u32 = 0;
-            for _ in 0..batch {
+            while dispatched < batch {
+                // Fast path within the quantum: run allocation-free
+                // instructions under a single locals/stack lock acquisition
+                // instead of relocking per instruction. All of them cost
+                // `Basic`; the charge below is instruction-for-instruction
+                // identical to the per-step accounting.
+                if batch > 1 {
+                    let world = World {
+                        program: self.program,
+                        heap: &self.heap,
+                        mutator: &self.mutator,
+                        registry: &self.registry,
+                        console: &self.console,
+                    };
+                    let n = self.threads[idx].step_quantum(&world, batch - dispatched);
+                    if n > 0 {
+                        self.instructions += n as u64;
+                        dispatched += n;
+                        let m = &self.config.cost;
+                        let (p, s) = (m.instr_parallel, m.instr_serial);
+                        let thread = &mut self.threads[idx];
+                        if m.gil {
+                            let start = thread.vtime.max(self.runtime_free);
+                            thread.vtime = start + (n as u64) * (p + s);
+                            self.runtime_free = thread.vtime;
+                        } else if s > 0 {
+                            thread.vtime += p;
+                            let start = thread.vtime.max(self.runtime_free);
+                            thread.vtime = start + s + (n as u64 - 1) * (p + s);
+                            self.runtime_free = thread.vtime;
+                        } else {
+                            thread.vtime += n as u64 * p;
+                        }
+                        if dispatched >= batch {
+                            break;
+                        }
+                    }
+                }
                 // Disjoint field borrows: the stepped thread is mutable;
                 // the world pieces and cost bookkeeping are other fields.
                 let world = World {

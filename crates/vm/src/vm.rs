@@ -24,27 +24,48 @@ use tetra_stdlib::{ops, Builtin};
 pub type Table = Arc<RwLock<Vec<Value>>>;
 
 /// Registry of all live tables; the single GC root source of a VM run.
-#[derive(Default)]
 pub struct Registry {
-    tables: Mutex<Vec<Weak<RwLock<Vec<Value>>>>>,
+    tables: Mutex<TableSet>,
+}
+
+struct TableSet {
+    entries: Vec<Weak<RwLock<Vec<Value>>>>,
+    /// Purge dead weak entries once `entries` reaches this length. After a
+    /// purge it is reset to twice the surviving count, so a full scan only
+    /// runs when the live fraction may have fallen below half — amortized
+    /// O(1) per registration, and dead tables never pile up unboundedly.
+    purge_at: usize,
+}
+
+const PURGE_FLOOR: usize = 64;
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry { tables: Mutex::new(TableSet { entries: Vec::new(), purge_at: PURGE_FLOOR }) }
+    }
 }
 
 impl Registry {
     pub fn new_table(&self, init: Vec<Value>) -> Table {
         let t = Arc::new(RwLock::new(init));
-        let mut tables = self.tables.lock();
-        tables.push(Arc::downgrade(&t));
-        // Garbage-collect dead weak entries occasionally.
-        if tables.len().is_multiple_of(256) {
-            tables.retain(|w| w.strong_count() > 0);
+        let mut set = self.tables.lock();
+        set.entries.push(Arc::downgrade(&t));
+        if set.entries.len() >= set.purge_at {
+            set.entries.retain(|w| w.strong_count() > 0);
+            set.purge_at = (set.entries.len() * 2).max(PURGE_FLOOR);
         }
         t
+    }
+
+    /// Number of weak entries currently tracked (live + not-yet-purged dead).
+    pub fn tracked_tables(&self) -> usize {
+        self.tables.lock().entries.len()
     }
 }
 
 impl RootSource for Registry {
     fn roots(&self, sink: &mut RootSink) {
-        for w in self.tables.lock().iter() {
+        for w in self.tables.lock().entries.iter() {
             if let Some(t) = w.upgrade() {
                 for v in t.read().iter() {
                     sink.value(*v);
@@ -257,6 +278,167 @@ impl VmThread {
         let mut stack = self.stack.write();
         let len = stack.len();
         stack.truncate(len - n);
+    }
+
+    /// Execute a run of cheap, allocation-free instructions while holding
+    /// the frame's locals guard and the operand-stack guard **once**,
+    /// instead of re-acquiring both `RwLock`s for every instruction. The
+    /// scheduler calls this only while this is the sole runnable thread
+    /// (its dispatch quantum), where the coarser locking is unobservable.
+    ///
+    /// Returns how many instructions ran (possibly 0); every one of them is
+    /// `CostClass::Basic`. Stops *before* any instruction that could
+    /// allocate, raise, block, or change the frame stack — those must go
+    /// through [`VmThread::step`]. The allocation restriction is
+    /// load-bearing: a GC triggered inside the quantum would scan the
+    /// registry's roots, which read-locks every table, including the two
+    /// write guards held here.
+    pub fn step_quantum(&mut self, world: &World, max: u32) -> u32 {
+        let program = world.program;
+        let stack_arc = self.stack.clone();
+        let Some(frame) = self.frames.last_mut() else {
+            return 0;
+        };
+        let unit = program.unit(frame.unit);
+        let code = &unit.code;
+        let locals_arc = frame.locals.clone();
+        let octx =
+            ops::OpCtx { heap: world.heap, mutator: world.mutator, roots: world.registry, line: 0 };
+        let mut locals = locals_arc.write();
+        let mut stack = stack_arc.write();
+        let mut ip = frame.ip;
+        let mut n: u32 = 0;
+        while n < max {
+            match &code[ip] {
+                Instr::Const(i) => match &program.consts[*i as usize] {
+                    Const::None => stack.push(Value::None),
+                    Const::Int(v) => stack.push(Value::Int(*v)),
+                    Const::Real(v) => stack.push(Value::Real(*v)),
+                    Const::Bool(v) => stack.push(Value::Bool(*v)),
+                    Const::Str(_) => break, // allocates
+                },
+                Instr::LoadLocal(i) => {
+                    let v = locals[*i as usize];
+                    if matches!(v, Value::None) {
+                        break; // unassigned read: error via step()
+                    }
+                    stack.push(v);
+                }
+                Instr::StoreLocal(i) => {
+                    let Some(&v) = stack.last() else { break };
+                    stack.pop();
+                    let slot = &mut locals[*i as usize];
+                    *slot = ops::widen_like(Some(*slot), v);
+                }
+                Instr::Jump(t) => {
+                    ip = *t as usize;
+                    n += 1;
+                    continue;
+                }
+                Instr::JumpIfFalse(t) => match stack.last() {
+                    Some(Value::Bool(b)) => {
+                        let b = *b;
+                        stack.pop();
+                        if !b {
+                            ip = *t as usize;
+                            n += 1;
+                            continue;
+                        }
+                    }
+                    _ => break, // non-bool condition: error via step()
+                },
+                Instr::JumpIfFalsePeek(t) => match stack.last() {
+                    Some(Value::Bool(false)) => {
+                        ip = *t as usize;
+                        n += 1;
+                        continue;
+                    }
+                    Some(Value::Bool(true)) => {}
+                    _ => break,
+                },
+                Instr::JumpIfTruePeek(t) => match stack.last() {
+                    Some(Value::Bool(true)) => {
+                        ip = *t as usize;
+                        n += 1;
+                        continue;
+                    }
+                    Some(Value::Bool(false)) => {}
+                    _ => break,
+                },
+                Instr::Pop => {
+                    if stack.pop().is_none() {
+                        break;
+                    }
+                }
+                Instr::Dup2 => {
+                    let len = stack.len();
+                    if len < 2 {
+                        break;
+                    }
+                    let (a, b) = (stack[len - 2], stack[len - 1]);
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Instr::Bin(op) => {
+                    let len = stack.len();
+                    if len < 2 {
+                        break;
+                    }
+                    let (l, r) = (stack[len - 2], stack[len - 1]);
+                    // Scalar operands can neither allocate nor be GC-moved;
+                    // objects (string/array concat) go through step().
+                    if l.as_obj().is_some() || r.as_obj().is_some() {
+                        break;
+                    }
+                    match ops::binary(&octx, *op, l, r) {
+                        Ok(v) => {
+                            stack.truncate(len - 2);
+                            stack.push(v);
+                        }
+                        Err(_) => break, // re-raise via step() with a line
+                    }
+                }
+                Instr::Neg => {
+                    let Some(&v) = stack.last() else { break };
+                    if v.as_obj().is_some() {
+                        break;
+                    }
+                    match ops::negate(&octx, v) {
+                        Ok(r) => {
+                            stack.pop();
+                            stack.push(r);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                Instr::Not => {
+                    let Some(&v) = stack.last() else { break };
+                    if v.as_obj().is_some() {
+                        break;
+                    }
+                    match ops::not(&octx, v) {
+                        Ok(r) => {
+                            stack.pop();
+                            stack.push(r);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                Instr::Widen => {
+                    let Some(&v) = stack.last() else { break };
+                    stack.pop();
+                    stack.push(ops::widen_to(&Type::Real, v));
+                }
+                _ => break,
+            }
+            ip += 1;
+            n += 1;
+        }
+        drop(stack);
+        drop(locals);
+        frame.ip = ip;
+        self.instructions += n as u64;
+        n
     }
 
     /// Execute the instruction at the current ip. Returns the outcome and
@@ -624,6 +806,40 @@ impl VmThread {
     pub fn advance_ip(&mut self) {
         if let Some(f) = self.frames.last_mut() {
             f.ip += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dead_tables_are_purged_from_the_registry() {
+        let reg = Registry::default();
+        for _ in 0..10_000 {
+            drop(reg.new_table(Vec::new()));
+        }
+        // Every table registered above is dead by the time the next one
+        // arrives; the doubling threshold keeps the tracked set near the
+        // floor instead of accumulating ten thousand dead weak entries.
+        assert!(
+            reg.tracked_tables() <= 2 * PURGE_FLOOR,
+            "tracked {} dead entries",
+            reg.tracked_tables()
+        );
+    }
+
+    #[test]
+    fn live_tables_survive_purges() {
+        let reg = Registry::default();
+        let keep: Vec<Table> = (0..100).map(|i| reg.new_table(vec![Value::Int(i)])).collect();
+        for _ in 0..10_000 {
+            drop(reg.new_table(Vec::new()));
+        }
+        assert!(reg.tracked_tables() >= keep.len());
+        for (i, t) in keep.iter().enumerate() {
+            assert!(matches!(t.read()[0], Value::Int(v) if v == i as i64));
         }
     }
 }
