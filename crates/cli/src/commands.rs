@@ -9,15 +9,17 @@ tetra — the Tetra educational parallel programming language
 
 USAGE:
   tetra run <file.tet> [--threads N] [--gil] [--gc-stress] [--gc-stats] [--no-detect]
-                       [--trace out.json] [--metrics]
-  tetra profile <file.tet> [--threads N]
+                       [--trace out.json] [--metrics] [--heap-profile]
+  tetra profile <file.tet> [--threads N] [--flame out.folded]
                                     run with tracing and print a profile report
+                                    (--flame also writes collapsed stacks for
+                                    flame-graph tools)
   tetra check <file.tet>            parse + type-check only
   tetra tokens <file.tet>           dump the token stream
   tetra ast <file.tet>              dump the AST
   tetra pretty <file.tet>           re-print canonical source
   tetra disasm <file.tet> [--fold]  compile to bytecode and disassemble
-  tetra sim <file.tet> [--threads N] [--gil] [--trace out.json] [--metrics]
+  tetra sim <file.tet> [--threads N] [--gil] [--trace out.json] [--metrics] [--heap-profile]
                                     deterministic virtual-time run (VM)
   tetra trace <file.tet> [--threads N]
                                     run with tracing: thread timeline + data races
@@ -40,6 +42,8 @@ struct Opts {
     fold: bool,
     trace: Option<String>,
     metrics: bool,
+    heap_profile: bool,
+    flame: Option<String>,
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
@@ -55,6 +59,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         fold: false,
         trace: None,
         metrics: false,
+        heap_profile: false,
+        flame: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -81,6 +87,11 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.trace = Some(v.clone());
             }
             "--metrics" => o.metrics = true,
+            "--heap-profile" => o.heap_profile = true,
+            "--flame" => {
+                let v = it.next().ok_or("--flame needs an output path")?;
+                o.flame = Some(v.clone());
+            }
             "--gil" => o.gil = true,
             "--gc-stress" => o.gc_stress = true,
             "--gc-stats" => o.gc_stats = true,
@@ -93,6 +104,25 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         }
     }
     Ok(o)
+}
+
+/// Tell the user when an exported trace is incomplete: per-thread ring
+/// buffers drop their oldest events once full, and corrupt slots (torn
+/// writes) are skipped rather than decoded.
+fn warn_truncation(trace: &tetra::obs::session::Trace) {
+    if trace.dropped_events > 0 {
+        let per_thread: Vec<String> =
+            trace.dropped_by_thread.iter().map(|(tid, n)| format!("thread {tid}: {n}")).collect();
+        eprintln!(
+            "warning: trace truncated — {} oldest event(s) dropped (ring full; {}); \
+             re-run with a larger buffer or a shorter program",
+            trace.dropped_events,
+            per_thread.join(", "),
+        );
+    }
+    if trace.corrupt_events > 0 {
+        eprintln!("warning: {} corrupt event slot(s) skipped during export", trace.corrupt_events);
+    }
 }
 
 fn read_source(path: &str) -> Result<String, String> {
@@ -150,11 +180,12 @@ fn interp_config(o: &Opts) -> InterpConfig {
 fn run(args: &[String]) -> Result<(), String> {
     let o = parse_opts(args)?;
     let (program, _src) = compile_file(need_file(&o)?)?;
-    let observing = o.trace.is_some() || o.metrics;
+    let observing = o.trace.is_some() || o.metrics || o.heap_profile;
     if observing {
         tetra::obs::session::begin(tetra::obs::session::Config {
             trace: o.trace.is_some(),
             metrics: o.metrics,
+            heap_profile: o.heap_profile,
             ..Default::default()
         });
     }
@@ -165,18 +196,17 @@ fn run(args: &[String]) -> Result<(), String> {
             std::fs::write(path, tetra::obs::chrome::export(&trace))
                 .map_err(|e| format!("cannot write trace to `{path}`: {e}"))?;
             eprintln!(
-                "trace: {} events from {} thread(s) written to {path}{}",
+                "trace: {} events from {} thread(s) written to {path}",
                 trace.events.len(),
                 trace.thread_names().len(),
-                if trace.dropped_events > 0 {
-                    format!(" ({} dropped: ring full)", trace.dropped_events)
-                } else {
-                    String::new()
-                },
             );
+            warn_truncation(&trace);
         }
         if o.metrics {
             eprint!("{}", trace.metrics.render());
+        }
+        if o.heap_profile {
+            eprint!("{}", tetra::obs::profile::heap_report(&trace));
         }
     }
     let stats = result.map_err(|e| e.to_string())?;
@@ -212,6 +242,11 @@ fn profile(args: &[String]) -> Result<(), String> {
     let source_lines: Vec<String> = src.lines().map(str::to_string).collect();
     eprintln!();
     eprint!("{}", tetra::obs::profile::report(&trace, Some(&source_lines)));
+    if let Some(out) = &o.flame {
+        std::fs::write(out, tetra::obs::flame::write_folded(&trace))
+            .map_err(|e| format!("cannot write flame output to `{out}`: {e}"))?;
+        eprintln!("flame: collapsed stacks written to {out} (flamegraph.pl / speedscope)");
+    }
     result.map(|_| ()).map_err(|e| e.to_string())
 }
 
@@ -287,11 +322,12 @@ fn sim(args: &[String]) -> Result<(), String> {
         cost: tetra::vm::CostModel { gil: o.gil, ..Default::default() },
         ..VmConfig::default()
     };
-    let observing = o.trace.is_some() || o.metrics;
+    let observing = o.trace.is_some() || o.metrics || o.heap_profile;
     if observing {
         tetra::obs::session::begin(tetra::obs::session::Config {
             trace: o.trace.is_some(),
             metrics: o.metrics,
+            heap_profile: o.heap_profile,
             ..Default::default()
         });
     }
@@ -306,9 +342,13 @@ fn sim(args: &[String]) -> Result<(), String> {
                 trace.events.len(),
                 trace.thread_names().len(),
             );
+            warn_truncation(&trace);
         }
         if o.metrics {
             eprint!("{}", trace.metrics.render());
+        }
+        if o.heap_profile {
+            eprint!("{}", tetra::obs::profile::heap_report(&trace));
         }
     }
     let stats = result.map_err(|e| e.to_string())?;

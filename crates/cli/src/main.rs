@@ -6,14 +6,14 @@
 //!
 //! ```text
 //! tetra run <file.tet> [--threads N] [--gil] [--gc-stress] [--gc-stats]
-//!                      [--trace out.json] [--metrics]
-//! tetra profile <file.tet>                     # per-line/lock/GC profile
+//!                      [--trace out.json] [--metrics] [--heap-profile]
+//! tetra profile <file.tet> [--flame out.folded]  # paths/lines/locks/heap/GC
 //! tetra check <file.tet>
 //! tetra tokens <file.tet>
 //! tetra ast <file.tet>
 //! tetra pretty <file.tet>
 //! tetra disasm <file.tet>
-//! tetra sim <file.tet> [--threads N] [--gil]
+//! tetra sim <file.tet> [--threads N] [--gil] [--heap-profile]
 //! tetra trace <file.tet> [--threads N]         # thread timeline + races
 //! tetra debug <file.tet>                       # interactive parallel debugger
 //! tetra bench (primes|tsp|sum|gil) [--threads 1,2,4,8]

@@ -274,9 +274,21 @@ impl ThreadCtx {
         self.env_stack.push(env);
         self.call_depth += 1;
         let saved_line = self.line;
+        // Shadow-stack frame for attribution (flame output, allocation
+        // sites, lock paths). `pushed` is latched so a mid-call toggle of
+        // the session switch cannot unbalance the stack.
+        let pushed = tetra_obs::attribution_enabled();
+        let mut call_node = tetra_obs::stack::ROOT;
+        if pushed {
+            call_node = tetra_obs::stack::child(self.current_stack_node(), func.name.as_str());
+            self.shadow.push(call_node);
+        }
         let call_start = tetra_obs::now_ns();
         let result = self.exec_block(&func.body);
-        tetra_obs::call(self.cell.id, func.name.as_str(), saved_line, call_start);
+        tetra_obs::call(self.cell.id, func.name.as_str(), saved_line, call_start, call_node);
+        if pushed {
+            self.shadow.pop();
+        }
         self.call_depth -= 1;
         self.env_stack.pop();
         self.line = saved_line;

@@ -317,7 +317,8 @@ impl ThreadCtx {
         self.cell.set_state(ThreadState::WaitingLock);
         self.cell.set_waiting_lock(Some(name.to_string()));
         let locks = self.shared.locks.clone();
-        let acquired = self.safe_region(|| locks.acquire(tid, name.as_str(), line));
+        let stack_node = self.current_stack_node();
+        let acquired = self.safe_region(|| locks.acquire(tid, name.as_str(), line, stack_node));
         self.cell.set_waiting_lock(None);
         self.cell.set_state(ThreadState::Running);
         acquired?;
@@ -349,6 +350,9 @@ impl ThreadCtx {
         kind: ThreadKind,
     ) -> Result<Vec<std::thread::JoinHandle<Result<(), RuntimeError>>>, RuntimeError> {
         let frames = self.current_env().frames().to_vec();
+        // Children attribute to the call path that spawned them until they
+        // call a function of their own.
+        let spawn_node = self.current_stack_node();
         let mut handles = Vec::with_capacity(body.stmts.len());
         for stmt in &body.stmts {
             let stmt: Stmt = stmt.clone();
@@ -369,7 +373,8 @@ impl ThreadCtx {
                 .name(format!("tetra-{}", cell.id))
                 .stack_size(THREAD_STACK_SIZE)
                 .spawn(move || {
-                    let mut ctx = ThreadCtx::new_child(shared, guard, cell, env, vec![]);
+                    let mut ctx =
+                        ThreadCtx::new_child(shared, guard, cell, env, vec![], spawn_node);
                     let result = ctx.exec_stmt(&stmt).map(|_| ());
                     ctx.finish_thread();
                     result
@@ -392,6 +397,7 @@ impl ThreadCtx {
         }
         let workers = self.shared.config.worker_threads.clamp(1, items.len());
         let frames = self.current_env().frames().to_vec();
+        let spawn_node = self.current_stack_node();
         // The resolver's worker-frame layout puts the induction variable at
         // slot 0; an empty layout means all-dynamic resolution.
         let layout = self.shared.typed.resolution.pfor_layout(stmt_id);
@@ -420,7 +426,8 @@ impl ThreadCtx {
                 .name(format!("tetra-{}", cell.id))
                 .stack_size(THREAD_STACK_SIZE)
                 .spawn(move || {
-                    let mut ctx = ThreadCtx::new_child(shared, guard, cell, env, chunk.clone());
+                    let mut ctx =
+                        ThreadCtx::new_child(shared, guard, cell, env, chunk.clone(), spawn_node);
                     let mut result = Ok(());
                     for item in chunk {
                         if use_slots {

@@ -37,6 +37,13 @@ pub(crate) struct ThreadCtx {
     pub call_depth: u32,
     /// Line of the statement currently executing.
     pub line: u32,
+    /// Shadow call stack: one `tetra_obs::stack` node per user-function
+    /// frame, innermost last. Maintained only while a trace or heap
+    /// profile wants attribution (`tetra_obs::attribution_enabled`).
+    pub shadow: Vec<u32>,
+    /// Call-path node inherited at spawn: a child thread's statements
+    /// attribute to the path that spawned it until it calls a function.
+    pub shadow_root: u32,
     /// Trace timestamp of this thread's start (0 when tracing is off).
     pub span_start_ns: u64,
     /// Variable accesses served by a static (frame, slot) coordinate.
@@ -99,6 +106,8 @@ impl ThreadCtx {
             held_locks: Vec::new(),
             call_depth: 0,
             line: 0,
+            shadow: Vec::new(),
+            shadow_root: tetra_obs::stack::ROOT,
             span_start_ns: tetra_obs::now_ns(),
             env_slot_hits: 0,
             env_dynamic_fallbacks: 0,
@@ -108,13 +117,16 @@ impl ThreadCtx {
 
     /// Context for a spawned thread. The mutator guard must come from
     /// [`tetra_runtime::Heap::register_spawned`]; this constructor exits the
-    /// initial spawn safe-region.
+    /// initial spawn safe-region. `spawn_node` is the parent's call-path
+    /// node at the spawn point, inherited as this thread's attribution
+    /// root.
     pub fn new_child(
         shared: Arc<Shared>,
         mutator: MutatorGuard,
         cell: Arc<ThreadCell>,
         env: Env,
         initial_temps: Vec<Value>,
+        spawn_node: u32,
     ) -> ThreadCtx {
         shared.heap.exit_spawn_region(&mutator);
         ThreadCtx {
@@ -126,11 +138,20 @@ impl ThreadCtx {
             held_locks: Vec::new(),
             call_depth: 0,
             line: 0,
+            shadow: Vec::new(),
+            shadow_root: spawn_node,
             span_start_ns: tetra_obs::now_ns(),
             env_slot_hits: 0,
             env_dynamic_fallbacks: 0,
             env_chain_depth_walked: 0,
         }
+    }
+
+    /// The call-path node of the innermost user-function frame (or the
+    /// spawn-site path for a thread that has not entered a function).
+    #[inline]
+    pub fn current_stack_node(&self) -> u32 {
+        self.shadow.last().copied().unwrap_or(self.shadow_root)
     }
 
     pub fn current_env(&self) -> &Env {
@@ -190,7 +211,12 @@ impl ThreadCtx {
     pub fn statement_prologue(&mut self, stmt: &Stmt) -> Result<(), RuntimeError> {
         self.line = stmt.span.line;
         self.cell.set_line(self.line);
-        tetra_obs::stmt(self.cell.id, self.line);
+        tetra_obs::stmt(self.cell.id, self.line, self.current_stack_node());
+        if tetra_obs::heap_profile_enabled() {
+            // Stamp the allocation site any heap object created by this
+            // statement will be charged to.
+            tetra_obs::heapprof::set_site(self.current_stack_node(), self.line);
+        }
         self.poll_gc();
         if let Some(hook) = self.shared.hook.clone() {
             hook.on_event(&ExecEvent::Statement { id: self.cell.id, line: self.line });

@@ -10,6 +10,7 @@
 
 use crate::event::EventKind;
 use crate::session::Trace;
+use crate::stack;
 
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -46,27 +47,42 @@ pub fn export(trace: &Trace) -> String {
         ));
     }
     for e in &trace.events {
+        // Flame metadata: the shadow call path an event ran under, for
+        // kinds that carry a stack node.
+        let path = |node: u32| {
+            if node == stack::ROOT {
+                String::new()
+            } else {
+                format!(r#","stack":{}"#, json_str(&stack::render(node, &trace.names)))
+            }
+        };
         let (name, cat, args) = match e.kind {
             // Statement instants are profile-report data, not tracks.
             EventKind::Stmt => continue,
             EventKind::Call => {
-                (trace.name(e.a).to_string(), "call", format!(r#"{{"line":{}}}"#, e.b))
+                (trace.name(e.a).to_string(), "call", format!(r#"{{"line":{}{}}}"#, e.b, path(e.c)))
             }
             EventKind::ThreadSpan => {
                 (format!("run {}", trace.name(e.a)), "thread", String::from("{}"))
             }
-            EventKind::LockWait => {
-                (format!("wait {}", trace.name(e.a)), "lock", format!(r#"{{"line":{}}}"#, e.b))
-            }
-            EventKind::LockHold => {
-                (format!("hold {}", trace.name(e.a)), "lock", String::from("{}"))
-            }
+            EventKind::LockWait => (
+                format!("wait {}", trace.name(e.a)),
+                "lock",
+                format!(r#"{{"line":{}{}}}"#, e.b, path(e.c)),
+            ),
+            EventKind::LockHold => (
+                format!("hold {}", trace.name(e.a)),
+                "lock",
+                format!(r#"{{{}}}"#, path(e.c).trim_start_matches(',')),
+            ),
             EventKind::GcStwWait | EventKind::GcMark | EventKind::GcSweep | EventKind::GcPause => {
                 (e.kind.label().to_string(), "gc", format!(r#"{{"collection":{}}}"#, e.a))
             }
-            EventKind::VmDispatch => {
-                ("dispatch".to_string(), "vm", format!(r#"{{"instructions":{}}}"#, e.a))
-            }
+            EventKind::VmDispatch => (
+                "dispatch".to_string(),
+                "vm",
+                format!(r#"{{"instructions":{}{}}}"#, e.a, path(e.c)),
+            ),
         };
         rows.push(format!(
             r#"{{"name":{},"cat":"{cat}","ph":"X","pid":1,"tid":{},"ts":{},"dur":{},"args":{args}}}"#,
@@ -98,6 +114,7 @@ mod tests {
                     dur_ns: 5_000,
                     a: 0,
                     b: 0,
+                    c: 0,
                 },
                 Event {
                     kind: EventKind::LockWait,
@@ -106,8 +123,9 @@ mod tests {
                     dur_ns: 250,
                     a: 1,
                     b: 7,
+                    c: crate::stack::child_sym(crate::stack::ROOT, 0),
                 },
-                Event { kind: EventKind::Stmt, tid: 0, start_ns: 10, dur_ns: 0, a: 3, b: 0 },
+                Event { kind: EventKind::Stmt, tid: 0, start_ns: 10, dur_ns: 0, a: 3, b: 0, c: 0 },
             ],
             names: vec!["main".into(), "m".into()],
             ..Trace::default()
@@ -117,6 +135,8 @@ mod tests {
         assert!(json.contains(r#""tid":2"#));
         assert!(json.contains(r#""name":"wait m""#));
         assert!(json.contains(r#""ts":1.500"#));
+        // The lock wait carries its acquiring call path ("main", sym 0).
+        assert!(json.contains(r#""stack":"main""#), "{json}");
         // Statement instants are excluded.
         assert!(!json.contains(r#""cat":"stmt""#));
     }

@@ -1,30 +1,36 @@
-//! Typed trace events and their packed 4×u64 wire representation.
+//! Typed trace events and their packed 5×u64 wire representation.
 //!
-//! Events are stored in per-thread ring buffers as four `AtomicU64` words:
+//! Events are stored in per-thread ring buffers as five `AtomicU64` words:
 //!
 //! ```text
 //! w0: kind (low 8 bits) | tid << 8
 //! w1: start_ns (session-relative)
 //! w2: dur_ns (0 for instant events)
 //! w3: a (low 32 bits) | b << 32
+//! w4: c (low 32 bits)
 //! ```
 //!
-//! `a`/`b` are kind-specific payloads: a source line, an interned string
-//! symbol, a collection ordinal, or an instruction count.
+//! `a`/`b`/`c` are kind-specific payloads: a source line, an interned
+//! string symbol, a collection ordinal, an instruction count, or a shadow
+//! call-stack node (see [`crate::stack`]).
 
 /// What happened. Discriminants are the wire encoding in `w0`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum EventKind {
-    /// Instant: statement at line `a` began executing.
+    /// Instant: statement at line `a` began executing; `c` is the shadow
+    /// call-stack node active at that point.
     Stmt = 0,
-    /// Span: call to function symbol `a`, call site line `b`.
+    /// Span: call to function symbol `a`, call site line `b`; `c` is the
+    /// callee's stack node (path including the callee itself).
     Call = 1,
     /// Span: lifetime of Tetra thread `tid`; `a` is its name symbol.
     ThreadSpan = 2,
-    /// Span: blocked acquiring lock symbol `a` at line `b`.
+    /// Span: blocked acquiring lock symbol `a` at line `b`; `c` is the
+    /// acquiring call path's stack node.
     LockWait = 3,
-    /// Span: held lock symbol `a` (emitted at release).
+    /// Span: held lock symbol `a` (emitted at release); `c` is the
+    /// acquiring call path's stack node.
     LockHold = 4,
     /// Span: GC waited for mutators to reach safepoints (collection `a`).
     GcStwWait = 5,
@@ -34,11 +40,16 @@ pub enum EventKind {
     GcSweep = 7,
     /// Span: entire stop-the-world pause (collection `a`).
     GcPause = 8,
-    /// Span: VM dispatch batch that executed `a` instructions.
+    /// Span: VM dispatch batch that executed `a` instructions; `c` is the
+    /// stack node the batch ran under (batches are flushed when the VM
+    /// thread's call stack changes, so one batch has one node).
     VmDispatch = 9,
 }
 
 impl EventKind {
+    /// Decode a wire kind byte. Returns `None` for out-of-range values —
+    /// possible on a torn wraparound read — so callers skip-and-count
+    /// corrupt slots instead of panicking.
     pub fn from_u8(v: u8) -> Option<EventKind> {
         Some(match v {
             0 => EventKind::Stmt,
@@ -86,21 +97,28 @@ pub struct Event {
     pub a: u32,
     /// Second kind-specific payload.
     pub b: u32,
+    /// Third kind-specific payload: the shadow call-stack node for kinds
+    /// that attribute to a call path, 0 otherwise.
+    pub c: u32,
 }
+
+/// Words per ring-buffer slot (see the module docs for the layout).
+pub const WORDS_PER_EVENT: usize = 5;
 
 impl Event {
     #[inline]
-    pub fn encode(&self) -> [u64; 4] {
+    pub fn encode(&self) -> [u64; WORDS_PER_EVENT] {
         [
             (self.kind as u64) | ((self.tid as u64) << 8),
             self.start_ns,
             self.dur_ns,
             (self.a as u64) | ((self.b as u64) << 32),
+            self.c as u64,
         ]
     }
 
     #[inline]
-    pub fn decode(words: [u64; 4]) -> Option<Event> {
+    pub fn decode(words: [u64; WORDS_PER_EVENT]) -> Option<Event> {
         Some(Event {
             kind: EventKind::from_u8((words[0] & 0xFF) as u8)?,
             tid: (words[0] >> 8) as u32,
@@ -108,6 +126,7 @@ impl Event {
             dur_ns: words[2],
             a: (words[3] & 0xFFFF_FFFF) as u32,
             b: (words[3] >> 32) as u32,
+            c: (words[4] & 0xFFFF_FFFF) as u32,
         })
     }
 }
@@ -119,7 +138,7 @@ mod tests {
     #[test]
     fn roundtrip_all_kinds() {
         for k in 0..=9u8 {
-            let kind = EventKind::from_u8(k).unwrap();
+            let kind = EventKind::from_u8(k).expect("kinds 0..=9 are valid");
             let e = Event {
                 kind,
                 tid: 0xABCD_1234,
@@ -127,9 +146,19 @@ mod tests {
                 dur_ns: 42,
                 a: 7,
                 b: 0xFFFF_FFFF,
+                c: 0xDEAD_BEEF,
             };
             assert_eq!(Event::decode(e.encode()), Some(e));
         }
         assert_eq!(EventKind::from_u8(200), None);
+    }
+
+    #[test]
+    fn corrupt_kind_byte_decodes_to_none() {
+        let e = Event { kind: EventKind::Call, tid: 3, start_ns: 10, dur_ns: 5, a: 1, b: 2, c: 4 };
+        let mut words = e.encode();
+        // Simulate a torn wraparound read that left a stale kind byte.
+        words[0] = (words[0] & !0xFF) | 0xEE;
+        assert_eq!(Event::decode(words), None);
     }
 }

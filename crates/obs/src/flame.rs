@@ -1,0 +1,180 @@
+//! Flame-graph aggregation: (call path, self-time) samples folded into
+//! Brendan Gregg's collapsed-stack format.
+//!
+//! No new timer exists for this: samples are derived from events the
+//! engines already emit.
+//!
+//! * **Interpreter** — each statement instant carries its shadow-stack
+//!   node; a statement's self-time is the gap until the same thread's
+//!   next statement (the same delta rule the per-line report uses, so the
+//!   folded counts inverse-sum to total traced self-time).
+//! * **VM** — each dispatch batch carries the stack node it ran under
+//!   (the scheduler flushes the batch whenever a call or return changes
+//!   the stack), so a batch's duration is self-time for that path.
+//!
+//! The folded output is one line per distinct call path:
+//! `frame;frame;frame <nanoseconds>`, loadable by `flamegraph.pl`,
+//! speedscope, or `inferno`.
+
+use crate::event::EventKind;
+use crate::session::Trace;
+use crate::stack;
+use std::collections::BTreeMap;
+
+/// One attribution sample: `self_ns` of execution under call path `node`.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    pub tid: u32,
+    /// Shadow call-stack node (see [`crate::stack`]).
+    pub node: u32,
+    /// Source line, when the sample came from a statement instant (0 for
+    /// VM dispatch batches, which span many lines).
+    pub line: u32,
+    pub self_ns: u64,
+    /// True when derived from an interpreter statement instant.
+    pub from_stmt: bool,
+}
+
+/// Derive self-time samples from a trace. This is the single source of
+/// attribution both the per-line table and the flame output aggregate, so
+/// the two always sum to the same total.
+pub fn samples(trace: &Trace) -> Vec<Sample> {
+    // Statement instants, grouped per thread in time order (the trace is
+    // already globally time-sorted).
+    let mut per_thread: BTreeMap<u32, Vec<(u64, u32, u32)>> = BTreeMap::new();
+    for e in &trace.events {
+        if e.kind == EventKind::Stmt {
+            per_thread.entry(e.tid).or_default().push((e.start_ns, e.a, e.c));
+        }
+    }
+    // End-of-track boundary: the thread's span end when known, else its
+    // last event of any kind.
+    let mut track_end: BTreeMap<u32, u64> = BTreeMap::new();
+    for e in &trace.events {
+        let end = e.start_ns + e.dur_ns;
+        let entry = track_end.entry(e.tid).or_insert(end);
+        *entry = (*entry).max(end);
+    }
+    let mut out = Vec::new();
+    for (tid, stmts) in &per_thread {
+        for (i, (start, line, node)) in stmts.iter().enumerate() {
+            let next = stmts
+                .get(i + 1)
+                .map(|(t, _, _)| *t)
+                .or_else(|| track_end.get(tid).copied())
+                .unwrap_or(*start);
+            out.push(Sample {
+                tid: *tid,
+                node: *node,
+                line: *line,
+                self_ns: next.saturating_sub(*start),
+                from_stmt: true,
+            });
+        }
+    }
+    for e in &trace.events {
+        if e.kind == EventKind::VmDispatch {
+            out.push(Sample {
+                tid: e.tid,
+                node: e.c,
+                line: 0,
+                self_ns: e.dur_ns,
+                from_stmt: false,
+            });
+        }
+    }
+    out
+}
+
+/// Fold samples by rendered call path: `path -> total self-time ns`,
+/// sorted by path (BTreeMap) for stable output.
+pub fn folded(trace: &Trace) -> BTreeMap<String, u64> {
+    let mut out: BTreeMap<u32, u64> = BTreeMap::new();
+    for s in samples(trace) {
+        *out.entry(s.node).or_insert(0) += s.self_ns;
+    }
+    let mut rendered = BTreeMap::new();
+    for (node, ns) in out {
+        *rendered.entry(stack::render(node, &trace.names)).or_insert(0) += ns;
+    }
+    rendered
+}
+
+/// Render the collapsed-stack file: one `path count\n` line per call
+/// path, counts in nanoseconds of self-time.
+pub fn write_folded(trace: &Trace) -> String {
+    let mut out = String::new();
+    for (path, ns) in folded(trace) {
+        out.push_str(&format!("{path} {ns}\n"));
+    }
+    out
+}
+
+/// Hottest call paths by total self-time, for the profile report.
+pub fn top_paths(trace: &Trace, n: usize) -> Vec<(String, u64)> {
+    let mut rows: Vec<(String, u64)> = folded(trace).into_iter().collect();
+    rows.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    rows.truncate(n);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::stack;
+
+    fn stmt(tid: u32, t: u64, line: u32, node: u32) -> Event {
+        Event { kind: EventKind::Stmt, tid, start_ns: t, dur_ns: 0, a: line, b: 0, c: node }
+    }
+
+    fn span(tid: u32, start: u64, dur: u64) -> Event {
+        Event { kind: EventKind::ThreadSpan, tid, start_ns: start, dur_ns: dur, a: 0, b: 0, c: 0 }
+    }
+
+    #[test]
+    fn folded_counts_sum_to_total_self_time() {
+        let main = stack::child(stack::ROOT, "flame_main");
+        let work = stack::child(main, "flame_work");
+        let trace = Trace {
+            events: vec![
+                stmt(0, 100, 1, main),
+                stmt(0, 400, 2, work),
+                stmt(0, 600, 3, main),
+                span(0, 0, 1000),
+            ],
+            names: crate::session::interner_names(),
+            duration_ns: 1000,
+            ..Trace::default()
+        };
+        let total: u64 = samples(&trace).iter().map(|s| s.self_ns).sum();
+        // 300 (main line 1) + 200 (work) + 400 (main to span end).
+        assert_eq!(total, 900);
+        let folded = folded(&trace);
+        assert_eq!(folded.values().sum::<u64>(), total);
+        assert_eq!(folded.get("flame_main;flame_work"), Some(&200));
+        assert_eq!(folded.get("flame_main"), Some(&700));
+        let tops = top_paths(&trace, 1);
+        assert_eq!(tops[0].0, "flame_main");
+    }
+
+    #[test]
+    fn vm_dispatch_batches_attribute_their_duration() {
+        let main = stack::child(stack::ROOT, "flame_vm_main");
+        let trace = Trace {
+            events: vec![Event {
+                kind: EventKind::VmDispatch,
+                tid: 0,
+                start_ns: 10,
+                dur_ns: 90,
+                a: 12,
+                b: 0,
+                c: main,
+            }],
+            names: crate::session::interner_names(),
+            ..Trace::default()
+        };
+        let folded = folded(&trace);
+        assert_eq!(folded.get("flame_vm_main"), Some(&90));
+    }
+}

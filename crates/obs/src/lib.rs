@@ -8,13 +8,19 @@
 //!   typed events into its own lock-free ring buffer. When tracing is
 //!   disabled the emit path is a single relaxed atomic load, so
 //!   instrumentation can stay compiled into release builds.
+//! * **Attribution** ([`stack`], [`flame`], [`heapprof`]) — shadow
+//!   call-stack interning (a call path is one `u32` trie node), flame
+//!   aggregation of (path, self-time) samples into collapsed-stack
+//!   format, and an allocation-site heap profiler fed by the mark-sweep
+//!   heap.
 //! * **Metrics** ([`metrics`]) — a registry of named counters and log2
 //!   histograms fed from low-frequency paths (lock operations, GC pauses,
 //!   thread lifecycle).
 //! * **Exporters** ([`chrome`], [`profile`]) — Chrome trace-event JSON
 //!   (loadable in Perfetto / `chrome://tracing`, one track per Tetra
-//!   thread) and a human-readable profiling report (top lines by
-//!   self-time, per-lock contention, GC pause summary).
+//!   thread) and a human-readable profiling report (hot call paths, top
+//!   lines by self-time, per-lock and per-path contention, allocation
+//!   sites, GC pause summary).
 //!
 //! # Lifecycle
 //!
@@ -22,12 +28,15 @@
 //! use tetra_obs as obs;
 //! obs::session::begin(obs::session::Config::default());
 //! // ... run a Tetra program; instrumented code emits events ...
-//! obs::stmt(0, 1);
+//! let node = obs::stack::child(obs::stack::ROOT, "main");
+//! obs::stmt(0, 1, node);
 //! let trace = obs::session::end();
 //! let json = obs::chrome::export(&trace);
 //! let report = obs::profile::report(&trace, None);
+//! let folded = obs::flame::write_folded(&trace);
 //! assert!(json.starts_with("{\"traceEvents\":"));
 //! assert!(report.contains("threads: 1"));
+//! assert!(folded.starts_with("main "));
 //! ```
 //!
 //! Events are timestamped in nanoseconds relative to the session start.
@@ -36,10 +45,13 @@
 
 pub mod chrome;
 pub mod event;
+pub mod flame;
+pub mod heapprof;
 pub mod metrics;
 pub mod profile;
 pub mod ring;
 pub mod session;
+pub mod stack;
 
 pub use event::{Event, EventKind};
 pub use session::Trace;
@@ -51,6 +63,10 @@ static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// Global metrics switch, independent of tracing.
 static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Global heap-profiling switch, independent of tracing (so
+/// `tetra run --heap-profile` works without the trace rings).
+static HEAP_PROF_ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// True when a tracing session is active. This is the only check on the
 /// disabled fast path.
@@ -65,9 +81,24 @@ pub fn metrics_enabled() -> bool {
     METRICS_ENABLED.load(Ordering::Relaxed)
 }
 
-pub(crate) fn set_enabled(trace: bool, metrics: bool) {
+/// True when allocation-site heap profiling is active.
+#[inline(always)]
+pub fn heap_profile_enabled() -> bool {
+    HEAP_PROF_ENABLED.load(Ordering::Relaxed)
+}
+
+/// True when the engines should maintain shadow call stacks: either the
+/// trace wants stack nodes on its events, or the heap profiler wants
+/// allocation sites. Checked once per user-function call.
+#[inline(always)]
+pub fn attribution_enabled() -> bool {
+    enabled() || heap_profile_enabled()
+}
+
+pub(crate) fn set_enabled(trace: bool, metrics: bool, heap_profile: bool) {
     TRACE_ENABLED.store(trace, Ordering::SeqCst);
     METRICS_ENABLED.store(metrics, Ordering::SeqCst);
+    HEAP_PROF_ENABLED.store(heap_profile, Ordering::SeqCst);
 }
 
 // ---------------------------------------------------------------------------
@@ -95,12 +126,13 @@ pub fn metric_now_ns() -> u64 {
     session::elapsed_ns()
 }
 
-/// Statement executed: an instant event carrying the source line. This is
-/// the highest-frequency event; per-line self-time in the profile report
-/// is derived from deltas between consecutive statement instants on the
-/// same thread.
+/// Statement executed: an instant event carrying the source line and the
+/// thread's current shadow call-stack node. This is the highest-frequency
+/// event; per-line and per-path self-time in the profile report are
+/// derived from deltas between consecutive statement instants on the same
+/// thread.
 #[inline]
-pub fn stmt(tid: u32, line: u32) {
+pub fn stmt(tid: u32, line: u32, stack_node: u32) {
     if !enabled() {
         return;
     }
@@ -111,12 +143,14 @@ pub fn stmt(tid: u32, line: u32) {
         dur_ns: 0,
         a: line,
         b: 0,
+        c: stack_node,
     });
 }
 
-/// User-function call span (`start_ns` from [`now_ns`] at entry).
+/// User-function call span (`start_ns` from [`now_ns`] at entry);
+/// `stack_node` is the callee's call-path node.
 #[inline]
-pub fn call(tid: u32, name: &str, line: u32, start_ns: u64) {
+pub fn call(tid: u32, name: &str, line: u32, start_ns: u64, stack_node: u32) {
     if !enabled() {
         return;
     }
@@ -129,6 +163,7 @@ pub fn call(tid: u32, name: &str, line: u32, start_ns: u64) {
         dur_ns: end.saturating_sub(start_ns),
         a: sym,
         b: line,
+        c: stack_node,
     });
 }
 
@@ -148,15 +183,16 @@ pub fn thread_span(tid: u32, name: &str, start_ns: u64) {
         dur_ns: end.saturating_sub(start_ns),
         a: sym,
         b: 0,
+        c: 0,
     });
     metrics::counter_add("threads.finished", 1);
 }
 
 /// Time spent blocked acquiring a named lock (zero-duration waits are
 /// still recorded — they distinguish contended from uncontended acquires
-/// by duration).
+/// by duration). `stack_node` names the acquiring call path.
 #[inline]
-pub fn lock_wait(tid: u32, lock: &str, line: u32, start_ns: u64) {
+pub fn lock_wait(tid: u32, lock: &str, line: u32, start_ns: u64, stack_node: u32) {
     let end = metric_now_ns();
     let wait = end.saturating_sub(start_ns);
     metrics::histogram_record("lock.wait_ns", wait);
@@ -164,12 +200,21 @@ pub fn lock_wait(tid: u32, lock: &str, line: u32, start_ns: u64) {
         return;
     }
     let sym = session::intern(lock);
-    ring::emit(Event { kind: EventKind::LockWait, tid, start_ns, dur_ns: wait, a: sym, b: line });
+    ring::emit(Event {
+        kind: EventKind::LockWait,
+        tid,
+        start_ns,
+        dur_ns: wait,
+        a: sym,
+        b: line,
+        c: stack_node,
+    });
 }
 
-/// Time a named lock was held, emitted at release.
+/// Time a named lock was held, emitted at release. `stack_node` names the
+/// call path that acquired the lock.
 #[inline]
-pub fn lock_hold(tid: u32, lock: &str, start_ns: u64) {
+pub fn lock_hold(tid: u32, lock: &str, start_ns: u64, stack_node: u32) {
     let end = metric_now_ns();
     let held = end.saturating_sub(start_ns);
     metrics::histogram_record("lock.hold_ns", held);
@@ -177,7 +222,15 @@ pub fn lock_hold(tid: u32, lock: &str, start_ns: u64) {
         return;
     }
     let sym = session::intern(lock);
-    ring::emit(Event { kind: EventKind::LockHold, tid, start_ns, dur_ns: held, a: sym, b: 0 });
+    ring::emit(Event {
+        kind: EventKind::LockHold,
+        tid,
+        start_ns,
+        dur_ns: held,
+        a: sym,
+        b: 0,
+        c: stack_node,
+    });
 }
 
 /// Synthetic thread id for the collector's events: GC pauses appear as
@@ -214,13 +267,15 @@ pub fn gc_phase(tid: u32, phase: GcPhase, collection: u32, start_ns: u64) {
         GcPhase::Sweep => EventKind::GcSweep,
         GcPhase::Pause => EventKind::GcPause,
     };
-    ring::emit(Event { kind, tid, start_ns, dur_ns: dur, a: collection, b: 0 });
+    ring::emit(Event { kind, tid, start_ns, dur_ns: dur, a: collection, b: 0, c: 0 });
 }
 
 /// One VM dispatch batch: `instructions` instructions executed for `tid`
-/// between `start_ns` and now.
+/// between `start_ns` and now, all under call path `stack_node` (the
+/// scheduler flushes the batch whenever a call or return changes the
+/// stack).
 #[inline]
-pub fn vm_dispatch(tid: u32, instructions: u32, start_ns: u64) {
+pub fn vm_dispatch(tid: u32, instructions: u32, start_ns: u64, stack_node: u32) {
     if !enabled() {
         return;
     }
@@ -232,6 +287,7 @@ pub fn vm_dispatch(tid: u32, instructions: u32, start_ns: u64) {
         dur_ns: end.saturating_sub(start_ns),
         a: instructions,
         b: 0,
+        c: stack_node,
     });
 }
 
@@ -242,11 +298,16 @@ mod tests {
     #[test]
     fn disabled_is_cheap_and_silent() {
         assert!(!enabled());
+        assert!(!heap_profile_enabled());
+        assert!(!attribution_enabled());
         assert_eq!(now_ns(), 0);
-        stmt(0, 1);
-        call(0, "f", 1, 0);
-        lock_wait(0, "m", 1, 0);
+        stmt(0, 1, 0);
+        call(0, "f", 1, 0, 0);
+        lock_wait(0, "m", 1, 0, 0);
+        assert_eq!(heapprof::record_alloc(64), 0);
         // No session: nothing to collect.
-        assert!(session::end().events.is_empty());
+        let trace = session::end();
+        assert!(trace.events.is_empty());
+        assert!(trace.heap.is_empty());
     }
 }

@@ -7,7 +7,7 @@
 //! writes.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// A log2-bucketed histogram of u64 samples (nanoseconds, typically).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +53,10 @@ struct Registry {
     histograms: BTreeMap<String, Histogram>,
 }
 
+/// Lock acquisitions below recover from poisoning: the registry stays
+/// structurally valid if a traced thread panics mid-update, and losing the
+/// whole report over one panicking thread would be worse than a possibly
+/// undercounted metric.
 static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
 
 /// Add to a named counter. No-op unless metrics are enabled.
@@ -60,7 +64,7 @@ pub fn counter_add(name: &str, value: u64) {
     if !crate::metrics_enabled() {
         return;
     }
-    let mut guard = REGISTRY.lock().unwrap();
+    let mut guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
     let registry = guard.get_or_insert_with(Registry::default);
     *registry.counters.entry(name.to_string()).or_insert(0) += value;
 }
@@ -70,14 +74,14 @@ pub fn histogram_record(name: &str, value: u64) {
     if !crate::metrics_enabled() {
         return;
     }
-    let mut guard = REGISTRY.lock().unwrap();
+    let mut guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
     let registry = guard.get_or_insert_with(Registry::default);
     registry.histograms.entry(name.to_string()).or_default().record(value);
 }
 
 /// Clear all metrics (called by `session::begin`).
 pub fn reset() {
-    *REGISTRY.lock().unwrap() = None;
+    *REGISTRY.lock().unwrap_or_else(PoisonError::into_inner) = None;
 }
 
 /// A point-in-time copy of the registry.
@@ -110,7 +114,7 @@ impl Snapshot {
 
 /// Copy out the current registry contents.
 pub fn snapshot() -> Snapshot {
-    let guard = REGISTRY.lock().unwrap();
+    let guard = REGISTRY.lock().unwrap_or_else(PoisonError::into_inner);
     match guard.as_ref() {
         Some(r) => Snapshot { counters: r.counters.clone(), histograms: r.histograms.clone() },
         None => Snapshot::default(),

@@ -2,16 +2,23 @@
 //!
 //! Aggregates a [`Trace`] into:
 //!
+//! * hot call paths — flame-style (stack, self-time) attribution from the
+//!   shadow call stacks (see [`crate::flame`]);
 //! * top source lines by self-time — derived from statement instants:
 //!   the time attributed to a line is the gap until the same thread's
 //!   next statement began (so it includes calls the line made);
 //! * per-function call counts and durations;
-//! * a per-lock contention table (waits, wait time, hold time);
+//! * a per-lock contention table (waits, wait time, hold time) plus a
+//!   per-call-path breakdown naming the code that contends;
+//! * allocation sites (allocs, bytes, live-after-last-GC) when heap
+//!   profiling ran;
 //! * a GC pause summary with per-phase breakdown;
 //! * VM dispatch totals when the program ran on the bytecode VM.
 
 use crate::event::EventKind;
+use crate::flame;
 use crate::session::Trace;
+use crate::stack;
 use std::collections::BTreeMap;
 
 fn fmt_ns(ns: u64) -> String {
@@ -26,10 +33,16 @@ fn fmt_ns(ns: u64) -> String {
     }
 }
 
-#[derive(Default, Clone, Copy)]
-struct LineStat {
-    count: u64,
-    self_ns: u64,
+fn fmt_bytes(b: u64) -> String {
+    if b >= 1 << 30 {
+        format!("{:.2}GiB", b as f64 / (1u64 << 30) as f64)
+    } else if b >= 1 << 20 {
+        format!("{:.2}MiB", b as f64 / (1u64 << 20) as f64)
+    } else if b >= 1 << 10 {
+        format!("{:.1}KiB", b as f64 / 1024.0)
+    } else {
+        format!("{b}B")
+    }
 }
 
 #[derive(Default, Clone, Copy)]
@@ -48,38 +61,18 @@ impl SpanStat {
 }
 
 /// Per-line statistics: `(line -> (count, self_ns))`, public so tests and
-/// the CLI can assert on numbers rather than text.
+/// the CLI can assert on numbers rather than text. Derived from the same
+/// samples the flame output folds, so the two sum identically.
 pub fn line_stats(trace: &Trace) -> BTreeMap<u32, (u64, u64)> {
-    // Statement instants, grouped per thread in time order (the trace is
-    // already globally time-sorted).
-    let mut per_thread: BTreeMap<u32, Vec<(u64, u32)>> = BTreeMap::new();
-    for e in &trace.events {
-        if e.kind == EventKind::Stmt {
-            per_thread.entry(e.tid).or_default().push((e.start_ns, e.a));
+    let mut stats: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for s in flame::samples(trace) {
+        if s.from_stmt {
+            let entry = stats.entry(s.line).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 += s.self_ns;
         }
     }
-    // End-of-track boundary: the thread's span end when known, else its
-    // last event of any kind.
-    let mut track_end: BTreeMap<u32, u64> = BTreeMap::new();
-    for e in &trace.events {
-        let end = e.start_ns + e.dur_ns;
-        let entry = track_end.entry(e.tid).or_insert(end);
-        *entry = (*entry).max(end);
-    }
-    let mut stats: BTreeMap<u32, LineStat> = BTreeMap::new();
-    for (tid, stmts) in &per_thread {
-        for (i, (start, line)) in stmts.iter().enumerate() {
-            let next = stmts
-                .get(i + 1)
-                .map(|(t, _)| *t)
-                .or_else(|| track_end.get(tid).copied())
-                .unwrap_or(*start);
-            let s = stats.entry(*line).or_default();
-            s.count += 1;
-            s.self_ns += next.saturating_sub(*start);
-        }
-    }
-    stats.into_iter().map(|(line, s)| (line, (s.count, s.self_ns))).collect()
+    stats
 }
 
 /// Render the full report.
@@ -87,7 +80,7 @@ pub fn report(trace: &Trace, source_lines: Option<&[String]>) -> String {
     let mut out = String::new();
     let threads = trace.thread_names();
     out.push_str(&format!(
-        "== tetra profile ==\nduration: {}   threads: {}   events: {}{}\n",
+        "== tetra profile ==\nduration: {}   threads: {}   events: {}{}{}\n",
         fmt_ns(trace.duration_ns),
         threads.len(),
         trace.events.len(),
@@ -95,8 +88,36 @@ pub fn report(trace: &Trace, source_lines: Option<&[String]>) -> String {
             format!("   dropped: {} (ring wraparound; oldest events lost)", trace.dropped_events)
         } else {
             String::new()
+        },
+        if trace.corrupt_events > 0 {
+            format!("   corrupt: {} (torn slots skipped)", trace.corrupt_events)
+        } else {
+            String::new()
         }
     ));
+    if !trace.dropped_by_thread.is_empty() {
+        let per: Vec<String> = trace
+            .dropped_by_thread
+            .iter()
+            .map(|(tid, n)| {
+                let name = threads.get(tid).cloned().unwrap_or_else(|| format!("thread-{tid}"));
+                format!("{name}: {n}")
+            })
+            .collect();
+        out.push_str(&format!("dropped by thread: {}\n", per.join(", ")));
+    }
+
+    // --- hot call paths ----------------------------------------------------
+    let paths = flame::top_paths(trace, 10);
+    if !paths.is_empty() {
+        let total: u64 = flame::folded(trace).values().sum();
+        out.push_str("\n-- hot paths --\n");
+        out.push_str(&format!("{:>12} {:>6}  call path\n", "self-time", "%"));
+        for (path, ns) in &paths {
+            let pct = if total > 0 { 100.0 * *ns as f64 / total as f64 } else { 0.0 };
+            out.push_str(&format!("{:>12} {:>5.1}%  {}\n", fmt_ns(*ns), pct, path));
+        }
+    }
 
     // --- top lines by self-time -------------------------------------------
     let lines = line_stats(trace);
@@ -143,10 +164,13 @@ pub fn report(trace: &Trace, source_lines: Option<&[String]>) -> String {
     let mut waits: BTreeMap<u32, SpanStat> = BTreeMap::new();
     let mut holds: BTreeMap<u32, SpanStat> = BTreeMap::new();
     let mut contended: BTreeMap<u32, u64> = BTreeMap::new();
+    // Waits keyed by (lock, acquiring call path) for the per-path table.
+    let mut path_waits: BTreeMap<(u32, u32), SpanStat> = BTreeMap::new();
     for e in &trace.events {
         match e.kind {
             EventKind::LockWait => {
                 waits.entry(e.a).or_default().add(e.dur_ns);
+                path_waits.entry((e.a, e.c)).or_default().add(e.dur_ns);
                 // A wait longer than 1µs means the lock was actually
                 // contended rather than acquired on the fast path.
                 if e.dur_ns > 1_000 {
@@ -181,6 +205,61 @@ pub fn report(trace: &Trace, source_lines: Option<&[String]>) -> String {
                 fmt_ns(w.max_ns),
                 fmt_ns(h.total_ns),
                 fmt_ns(h.max_ns)
+            ));
+        }
+        // Who contends: the acquiring call paths, worst wait first.
+        let mut rows: Vec<((u32, u32), SpanStat)> = path_waits.into_iter().collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1.total_ns));
+        out.push_str("\n-- lock contention by call path --\n");
+        out.push_str(&format!(
+            "{:<16} {:>9} {:>11} {:>10}  call path\n",
+            "lock", "acquires", "wait-total", "wait-max"
+        ));
+        for ((lock, node), s) in rows.iter().take(10) {
+            out.push_str(&format!(
+                "{:<16} {:>9} {:>11} {:>10}  {}\n",
+                trace.name(*lock),
+                s.count,
+                fmt_ns(s.total_ns),
+                fmt_ns(s.max_ns),
+                stack::render(*node, &trace.names)
+            ));
+        }
+    }
+
+    // --- heap allocation sites ----------------------------------------------
+    if !trace.heap.is_empty() {
+        out.push_str("\n-- heap allocation sites --\n");
+        out.push_str("top sites by live bytes (after last GC):\n");
+        let live: Vec<_> =
+            trace.heap.top_by_live_bytes(8).into_iter().filter(|s| s.live_bytes > 0).collect();
+        if live.is_empty() {
+            out.push_str("(nothing survived the last collection)\n");
+        } else {
+            out.push_str(&format!(
+                "{:<24} {:>9} {:>10} {:>10} {:>10}\n",
+                "site", "allocs", "bytes", "live-objs", "live-bytes"
+            ));
+            for site in live {
+                out.push_str(&format!(
+                    "{:<24} {:>9} {:>10} {:>10} {:>10}\n",
+                    site.label(&trace.names),
+                    site.allocs,
+                    fmt_bytes(site.alloc_bytes),
+                    site.live_objects,
+                    fmt_bytes(site.live_bytes)
+                ));
+            }
+        }
+        out.push_str("top sites by churn (total bytes allocated):\n");
+        out.push_str(&format!("{:<24} {:>9} {:>10}  call path\n", "site", "allocs", "bytes"));
+        for site in trace.heap.top_by_churn(8) {
+            out.push_str(&format!(
+                "{:<24} {:>9} {:>10}  {}\n",
+                site.label(&trace.names),
+                site.allocs,
+                fmt_bytes(site.alloc_bytes),
+                site.path(&trace.names)
             ));
         }
     }
@@ -264,13 +343,39 @@ pub fn report(trace: &Trace, source_lines: Option<&[String]>) -> String {
     out
 }
 
+/// Render just the heap-site section (used by `tetra run --heap-profile`,
+/// which has no trace to report on).
+pub fn heap_report(trace: &Trace) -> String {
+    if trace.heap.is_empty() {
+        return "== tetra heap profile ==\n(no allocations recorded)\n".to_string();
+    }
+    let mut out = String::from("== tetra heap profile ==\n");
+    out.push_str(&format!(
+        "{:<24} {:>9} {:>10} {:>10} {:>10}  call path\n",
+        "site", "allocs", "bytes", "live-objs", "live-bytes"
+    ));
+    for site in trace.heap.top_by_churn(16) {
+        out.push_str(&format!(
+            "{:<24} {:>9} {:>10} {:>10} {:>10}  {}\n",
+            site.label(&trace.names),
+            site.allocs,
+            fmt_bytes(site.alloc_bytes),
+            site.live_objects,
+            fmt_bytes(site.live_bytes),
+            site.path(&trace.names)
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::event::Event;
+    use crate::heapprof;
 
     fn stmt(tid: u32, t: u64, line: u32) -> Event {
-        Event { kind: EventKind::Stmt, tid, start_ns: t, dur_ns: 0, a: line, b: 0 }
+        Event { kind: EventKind::Stmt, tid, start_ns: t, dur_ns: 0, a: line, b: 0, c: 0 }
     }
 
     #[test]
@@ -288,6 +393,7 @@ mod tests {
                     dur_ns: 1000,
                     a: 0,
                     b: 0,
+                    c: 0,
                 },
                 Event {
                     kind: EventKind::ThreadSpan,
@@ -296,6 +402,7 @@ mod tests {
                     dur_ns: 150,
                     a: 0,
                     b: 0,
+                    c: 0,
                 },
             ],
             names: vec!["main".into()],
@@ -310,6 +417,7 @@ mod tests {
         assert_eq!(lines[&9], (2, 150));
         let text = report(&trace, None);
         assert!(text.contains("top lines by self-time"));
+        assert!(text.contains("hot paths"));
     }
 
     #[test]
@@ -320,6 +428,8 @@ mod tests {
         // The environment-access section only appears once the interpreter
         // flushed its counters.
         assert!(!text.contains("environment access"));
+        // No heap profile, no heap section.
+        assert!(!text.contains("heap allocation sites"));
     }
 
     #[test]
@@ -333,5 +443,37 @@ mod tests {
         assert!(text.contains("slot-resolved: 75 (75.0%)"), "{text}");
         assert!(text.contains("dynamic fallbacks: 25"), "{text}");
         assert!(text.contains("frames walked in fallbacks: 40"), "{text}");
+    }
+
+    #[test]
+    fn drop_and_corrupt_accounting_rendered_in_header() {
+        let mut trace = Trace { dropped_events: 12, corrupt_events: 2, ..Trace::default() };
+        trace.dropped_by_thread.insert(0, 7);
+        trace.dropped_by_thread.insert(3, 5);
+        let text = report(&trace, None);
+        assert!(text.contains("dropped: 12"), "{text}");
+        assert!(text.contains("corrupt: 2"), "{text}");
+        assert!(text.contains("dropped by thread:"), "{text}");
+        assert!(text.contains("thread-3: 5"), "{text}");
+    }
+
+    #[test]
+    fn heap_sites_render_by_live_and_churn() {
+        let mut trace = Trace { names: vec!["alloc_fn".into()], ..Trace::default() };
+        let node = crate::stack::child_sym(crate::stack::ROOT, 0);
+        trace.heap.sites.push(heapprof::SiteSnapshot {
+            node,
+            line: 42,
+            allocs: 100,
+            alloc_bytes: 4096,
+            live_objects: 3,
+            live_bytes: 96,
+        });
+        let text = report(&trace, None);
+        assert!(text.contains("heap allocation sites"), "{text}");
+        assert!(text.contains("alloc_fn:42"), "{text}");
+        assert!(text.contains("4.0KiB"), "{text}");
+        let heap_only = heap_report(&trace);
+        assert!(heap_only.contains("alloc_fn:42"), "{heap_only}");
     }
 }

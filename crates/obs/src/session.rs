@@ -7,11 +7,12 @@
 //! pooled or long-lived thread never writes into a stale buffer.
 
 use crate::event::{Event, EventKind};
+use crate::heapprof;
 use crate::metrics;
 use crate::ring::{Ring, DEFAULT_EVENTS_PER_THREAD};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 use std::time::Instant;
 
 /// Session configuration.
@@ -21,13 +22,20 @@ pub struct Config {
     pub trace: bool,
     /// Collect metrics (counters/histograms). Independent of tracing.
     pub metrics: bool,
+    /// Attribute heap allocations to (call path, line) sites.
+    pub heap_profile: bool,
     /// Ring capacity per thread, in events.
     pub events_per_thread: usize,
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Config { trace: true, metrics: true, events_per_thread: DEFAULT_EVENTS_PER_THREAD }
+        Config {
+            trace: true,
+            metrics: true,
+            heap_profile: true,
+            events_per_thread: DEFAULT_EVENTS_PER_THREAD,
+        }
     }
 }
 
@@ -67,23 +75,27 @@ pub fn generation() -> u64 {
 /// Start a session. Any prior session's unsnapshotted events are
 /// discarded.
 pub fn begin(config: Config) {
-    let mut active = ACTIVE.lock().unwrap();
+    // A thread that panicked while holding the session lock must not take
+    // the whole observability layer down with it; the state it protects
+    // stays structurally valid, so recover the guard.
+    let mut active = ACTIVE.lock().unwrap_or_else(PoisonError::into_inner);
     GENERATION.fetch_add(1, Ordering::AcqRel);
     SESSION_START_NS.store(epoch_ns(), Ordering::SeqCst);
     metrics::reset();
+    heapprof::reset();
     *active = Some(Active {
         start_ns: SESSION_START_NS.load(Ordering::SeqCst),
         events_per_thread: config.events_per_thread.max(16),
         rings: Vec::new(),
     });
-    crate::set_enabled(config.trace, config.metrics);
+    crate::set_enabled(config.trace, config.metrics, config.heap_profile);
 }
 
 /// Create and register a ring for the calling thread. Returns `None` when
 /// no session is active. Called once per thread per session (slow path of
 /// `ring::emit`).
 pub fn register_ring() -> Option<Arc<Ring>> {
-    let mut active = ACTIVE.lock().unwrap();
+    let mut active = ACTIVE.lock().unwrap_or_else(PoisonError::into_inner);
     let state = active.as_mut()?;
     let ring = Arc::new(Ring::new(state.events_per_thread));
     state.rings.push(Arc::clone(&ring));
@@ -93,25 +105,40 @@ pub fn register_ring() -> Option<Arc<Ring>> {
 /// Stop the session and collect everything emitted so far. For an exact
 /// snapshot, call after the traced program's threads have been joined.
 pub fn end() -> Trace {
-    crate::set_enabled(false, false);
+    crate::set_enabled(false, false, false);
     GENERATION.fetch_add(1, Ordering::AcqRel);
-    let state = ACTIVE.lock().unwrap().take();
+    let state = ACTIVE.lock().unwrap_or_else(PoisonError::into_inner).take();
     let Some(state) = state else {
         return Trace::default();
     };
     let mut events = Vec::new();
     let mut dropped = 0u64;
+    let mut dropped_by_thread: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut corrupt = 0u64;
     for ring in &state.rings {
-        dropped += ring.dropped();
-        events.extend(ring.snapshot());
+        let ring_dropped = ring.dropped();
+        dropped += ring_dropped;
+        if ring_dropped > 0 {
+            // Attribute this ring's losses to the thread that owns it
+            // (first event's tid; exact for the interpreter, where rings
+            // map 1:1 to Tetra threads).
+            let tid = ring.owner_tid().unwrap_or(0);
+            *dropped_by_thread.entry(tid).or_insert(0) += ring_dropped;
+        }
+        let snap = ring.snapshot();
+        corrupt += snap.corrupt;
+        events.extend(snap.events);
     }
     events.sort_by_key(|e| (e.start_ns, e.tid));
     Trace {
         events,
         names: interner_names(),
         dropped_events: dropped,
+        dropped_by_thread,
+        corrupt_events: corrupt,
         duration_ns: epoch_ns().saturating_sub(state.start_ns),
         metrics: metrics::snapshot(),
+        heap: heapprof::snapshot(),
     }
 }
 
@@ -141,7 +168,7 @@ pub fn intern(name: &str) -> u32 {
         if let Some(sym) = cache.borrow().get(name) {
             return *sym;
         }
-        let mut guard = INTERNER.lock().unwrap();
+        let mut guard = INTERNER.lock().unwrap_or_else(PoisonError::into_inner);
         let interner = guard.get_or_insert_with(Interner::default);
         let sym = match interner.map.get(name) {
             Some(s) => *s,
@@ -157,8 +184,13 @@ pub fn intern(name: &str) -> u32 {
     })
 }
 
-fn interner_names() -> Vec<String> {
-    INTERNER.lock().unwrap().as_ref().map(|i| i.names.clone()).unwrap_or_default()
+pub(crate) fn interner_names() -> Vec<String> {
+    INTERNER
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .as_ref()
+        .map(|i| i.names.clone())
+        .unwrap_or_default()
 }
 
 // ---------------------------------------------------------------------------
@@ -175,10 +207,19 @@ pub struct Trace {
     pub names: Vec<String>,
     /// Events lost to ring wraparound across all threads.
     pub dropped_events: u64,
+    /// Ring-wraparound losses attributed per Tetra thread (the ring
+    /// owner's tid; for the VM all scheduler rings attribute to the first
+    /// thread dispatched).
+    pub dropped_by_thread: BTreeMap<u32, u64>,
+    /// Slots skipped because their kind byte failed to decode (torn
+    /// wraparound reads).
+    pub corrupt_events: u64,
     /// Wall-clock length of the session.
     pub duration_ns: u64,
     /// Metrics captured at session end.
     pub metrics: metrics::Snapshot,
+    /// Allocation-site heap profile captured at session end.
+    pub heap: heapprof::HeapProfile,
 }
 
 impl Trace {

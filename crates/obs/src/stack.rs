@@ -1,0 +1,149 @@
+//! Shadow call-stack interning: a global call-path trie.
+//!
+//! Both engines maintain a cheap shadow stack of the user functions
+//! currently executing — the interpreter one `Vec<u32>` per thread
+//! context, the VM one node per frame. Rather than storing frames, each
+//! stack position is a **node** in a global trie: node `0` is the root,
+//! and `child(parent, name)` interns the edge `(parent, name)` to a
+//! stable node id. A whole call path is therefore one `u32`, cheap enough
+//! to stamp into every statement instant and allocation site.
+//!
+//! Node ids, like interned name symbols, are valid for the process
+//! lifetime, so they can be resolved after the session that produced them
+//! has ended.
+
+use crate::session;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, PoisonError};
+
+/// The empty call path. Never rendered; a thread that has not entered any
+/// user function attributes to its inherited spawn-site path instead.
+pub const ROOT: u32 = 0;
+
+#[derive(Clone, Copy)]
+struct Node {
+    parent: u32,
+    /// Interned function-name symbol (`session::intern`); unused for the
+    /// root.
+    sym: u32,
+}
+
+struct Trie {
+    nodes: Vec<Node>,
+    edges: HashMap<(u32, u32), u32>,
+}
+
+static TRIE: Mutex<Option<Trie>> = Mutex::new(None);
+
+thread_local! {
+    /// Per-thread edge cache so the hot call path (one lookup per user
+    /// function call) normally skips the global mutex.
+    static EDGE_CACHE: RefCell<HashMap<(u32, u32), u32>> = RefCell::new(HashMap::new());
+}
+
+fn with_trie<T>(f: impl FnOnce(&mut Trie) -> T) -> T {
+    let mut guard = TRIE.lock().unwrap_or_else(PoisonError::into_inner);
+    let trie = guard.get_or_insert_with(|| Trie {
+        nodes: vec![Node { parent: ROOT, sym: u32::MAX }],
+        edges: HashMap::new(),
+    });
+    f(trie)
+}
+
+/// Intern the child of `parent` named `name`, returning its node id.
+pub fn child(parent: u32, name: &str) -> u32 {
+    let sym = session::intern(name);
+    child_sym(parent, sym)
+}
+
+/// Intern the child of `parent` with an already-interned name symbol.
+pub fn child_sym(parent: u32, sym: u32) -> u32 {
+    EDGE_CACHE.with(|cache| {
+        if let Some(node) = cache.borrow().get(&(parent, sym)) {
+            return *node;
+        }
+        let node = with_trie(|trie| match trie.edges.get(&(parent, sym)) {
+            Some(n) => *n,
+            None => {
+                let n = trie.nodes.len() as u32;
+                trie.nodes.push(Node { parent, sym });
+                trie.edges.insert((parent, sym), n);
+                n
+            }
+        });
+        cache.borrow_mut().insert((parent, sym), node);
+        node
+    })
+}
+
+/// Name symbols along the path root → `node` (excluding the root).
+pub fn path_syms(node: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    with_trie(|trie| {
+        let mut cur = node;
+        while cur != ROOT {
+            let Some(n) = trie.nodes.get(cur as usize) else { break };
+            out.push(n.sym);
+            cur = n.parent;
+        }
+    });
+    out.reverse();
+    out
+}
+
+/// The leaf function-name symbol of `node`, or `None` for the root or an
+/// unknown node.
+pub fn leaf_sym(node: u32) -> Option<u32> {
+    if node == ROOT {
+        return None;
+    }
+    with_trie(|trie| trie.nodes.get(node as usize).map(|n| n.sym))
+}
+
+/// Render `node` as a `;`-joined frame list (collapsed-stack convention,
+/// outermost first), resolving symbols against `names`. The root renders
+/// as `(root)`.
+pub fn render(node: u32, names: &[String]) -> String {
+    let syms = path_syms(node);
+    if syms.is_empty() {
+        return "(root)".to_string();
+    }
+    syms.iter()
+        .map(|s| names.get(*s as usize).map(String::as_str).unwrap_or("?"))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_intern_to_stable_nodes() {
+        let main = child(ROOT, "stacktest_main");
+        let helper = child(main, "stacktest_helper");
+        let work_a = child(helper, "stacktest_work");
+        let work_b = child(main, "stacktest_work");
+        assert_ne!(work_a, work_b, "same function, different paths");
+        assert_eq!(child(helper, "stacktest_work"), work_a, "edges are interned");
+        let syms = path_syms(work_a);
+        assert_eq!(syms.len(), 3);
+        assert_eq!(leaf_sym(work_a), Some(*syms.last().expect("nonempty")));
+        assert_eq!(leaf_sym(ROOT), None);
+    }
+
+    #[test]
+    fn render_joins_frames_with_semicolons() {
+        let a = child(ROOT, "render_a");
+        let b = child(a, "render_b");
+        // Resolve against a synthetic table covering the interned symbols.
+        let sa = session::intern("render_a") as usize;
+        let sb = session::intern("render_b") as usize;
+        let mut table = vec!["?".to_string(); sa.max(sb) + 1];
+        table[sa] = "render_a".into();
+        table[sb] = "render_b".into();
+        assert_eq!(render(b, &table), "render_a;render_b");
+        assert_eq!(render(ROOT, &table), "(root)");
+    }
+}

@@ -16,14 +16,18 @@ fn disabled_mode_emits_nothing() {
     let _guard = exclusive();
     // No session: every emission must be a no-op.
     assert!(!tetra_obs::enabled());
-    tetra_obs::stmt(0, 1);
-    tetra_obs::call(0, "f", 1, 0);
+    tetra_obs::stmt(0, 1, tetra_obs::stack::ROOT);
+    tetra_obs::call(0, "f", 1, 0, tetra_obs::stack::ROOT);
     tetra_obs::thread_span(1, "t", 0);
-    tetra_obs::lock_wait(0, "l", 2, 0);
-    tetra_obs::lock_hold(0, "l", 0);
+    tetra_obs::lock_wait(0, "l", 2, 0, tetra_obs::stack::ROOT);
+    tetra_obs::lock_hold(0, "l", 0, tetra_obs::stack::ROOT);
     tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::Pause, 1, 0);
-    tetra_obs::vm_dispatch(0, 256, 0);
+    tetra_obs::vm_dispatch(0, 256, 0, tetra_obs::stack::ROOT);
     tetra_obs::metrics::counter_add("c", 1);
+    // Heap profiling off: allocations are not attributed to any site.
+    assert!(!tetra_obs::heap_profile_enabled());
+    assert!(!tetra_obs::attribution_enabled());
+    assert_eq!(tetra_obs::heapprof::record_alloc(64), 0);
     // A session started afterwards must see none of it.
     session::begin(session::Config::default());
     let trace = session::end();
@@ -42,7 +46,7 @@ fn concurrent_emit_from_many_threads() {
             std::thread::spawn(move || {
                 let start = tetra_obs::now_ns();
                 for i in 0..EVENTS_PER_THREAD {
-                    tetra_obs::stmt(tid, i + 1);
+                    tetra_obs::stmt(tid, i + 1, tetra_obs::stack::ROOT);
                 }
                 tetra_obs::thread_span(tid, &format!("worker-{tid}"), start);
             })
@@ -67,7 +71,7 @@ fn chrome_export_has_one_track_per_tetra_thread() {
     let _guard = exclusive();
     session::begin(session::Config::default());
     let t0 = tetra_obs::now_ns();
-    tetra_obs::call(0, "main", 1, t0);
+    tetra_obs::call(0, "main", 1, t0, tetra_obs::stack::ROOT);
     tetra_obs::thread_span(0, "main", t0);
     tetra_obs::thread_span(1, "parallel-1", t0);
     tetra_obs::thread_span(2, "parallel-2", t0);
@@ -98,9 +102,9 @@ fn profile_report_covers_locks_and_gc() {
     let _guard = exclusive();
     session::begin(session::Config::default());
     let t0 = tetra_obs::now_ns();
-    tetra_obs::stmt(0, 3);
-    tetra_obs::lock_wait(0, "counter", 3, t0);
-    tetra_obs::lock_hold(0, "counter", t0);
+    tetra_obs::stmt(0, 3, tetra_obs::stack::ROOT);
+    tetra_obs::lock_wait(0, "counter", 3, t0, tetra_obs::stack::ROOT);
+    tetra_obs::lock_hold(0, "counter", t0, tetra_obs::stack::ROOT);
     tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::Pause, 1, t0);
     let trace = session::end();
     let report = profile::report(&trace, None);
@@ -116,11 +120,13 @@ fn ring_wraparound_is_bounded_and_keeps_newest() {
     session::begin(session::Config { events_per_thread: capacity, ..session::Config::default() });
     let total = capacity as u32 * 3;
     for i in 0..total {
-        tetra_obs::stmt(0, i + 1);
+        tetra_obs::stmt(0, i + 1, tetra_obs::stack::ROOT);
     }
     let trace = session::end();
     assert_eq!(trace.events.len(), capacity, "ring must cap at its capacity");
     assert_eq!(trace.dropped_events, (total as usize - capacity) as u64);
+    // Drops are attributed to the thread that owned the ring.
+    assert_eq!(trace.dropped_by_thread.get(&0).copied(), Some(trace.dropped_events));
     // Survivors are exactly the newest `capacity` events, oldest first.
     let lines: Vec<u32> = trace.events.iter().map(|e| e.a).collect();
     let expected: Vec<u32> = (total - capacity as u32 + 1..=total).collect();

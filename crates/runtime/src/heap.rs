@@ -260,7 +260,11 @@ impl Heap {
             let with_pending = WithPending { inner: roots, pending: &obj };
             self.park(m, &with_pending);
         }
-        let boxed = Box::new(GcBox { mark: AtomicBool::new(false), size, obj });
+        // Attribute the allocation to the mutator's current (call path,
+        // line) site; returns 0 (recording nothing) when heap profiling
+        // is off.
+        let site = tetra_obs::heapprof::record_alloc(size);
+        let boxed = Box::new(GcBox { mark: AtomicBool::new(false), size, site, obj });
         let ptr = NonNull::from(Box::leak(boxed));
         self.objects.lock().push(ptr);
         self.bytes.fetch_add(size, Ordering::Relaxed);
@@ -436,12 +440,22 @@ impl Heap {
         let obs_sweep = tetra_obs::now_ns();
         let mut freed = 0u64;
         let mut freed_bytes = 0usize;
+        // Live-after-GC census per allocation site, taken while the sweep
+        // already walks every object. Only populated under --heap-profile.
+        let profiling = tetra_obs::heap_profile_enabled();
+        let mut census: std::collections::HashMap<u64, (u64, u64)> =
+            std::collections::HashMap::new();
         {
             let mut objects = self.objects.lock();
             objects.retain(|ptr| {
                 // SAFETY: pointers in the list are live boxes we created.
                 let gc_box = unsafe { ptr.as_ref() };
                 if gc_box.mark.swap(false, Ordering::Relaxed) {
+                    if profiling && gc_box.site != 0 {
+                        let entry = census.entry(gc_box.site).or_insert((0, 0));
+                        entry.0 += 1;
+                        entry.1 += gc_box.size as u64;
+                    }
                     true
                 } else {
                     freed += 1;
@@ -452,6 +466,9 @@ impl Heap {
                     false
                 }
             });
+        }
+        if profiling {
+            tetra_obs::heapprof::record_census(&census);
         }
         let live = self.bytes.fetch_sub(freed_bytes, Ordering::Relaxed) - freed_bytes;
         self.threshold.store((live * 2).max(self.min_threshold), Ordering::Relaxed);

@@ -27,8 +27,9 @@ use std::sync::Arc;
 #[derive(Default)]
 struct LockState {
     /// lock name → (holding thread, line of the `lock` statement,
-    /// session timestamp of acquisition for hold-time tracing).
-    holders: HashMap<String, (u32, u32, u64)>,
+    /// session timestamp of acquisition for hold-time tracing, shadow
+    /// call-stack node of the acquiring path for the profiler).
+    holders: HashMap<String, (u32, u32, u64, u32)>,
     /// thread → lock name it is currently blocked on.
     waiting: HashMap<u32, String>,
 }
@@ -68,15 +69,23 @@ impl LockRegistry {
 
     /// Acquire `name` for thread `tid`; blocks while another thread holds
     /// it. `line` is the source line of the `lock` statement (for errors
-    /// and the debugger).
+    /// and the debugger); `stack_node` is the acquiring call path (see
+    /// `tetra_obs::stack`), attributed to the wait/hold trace events so
+    /// the contention report can name the code that contends.
     ///
     /// Callers must wrap this in a GC safe region: it blocks.
-    pub fn acquire(&self, tid: u32, name: &str, line: u32) -> Result<(), RuntimeError> {
+    pub fn acquire(
+        &self,
+        tid: u32,
+        name: &str,
+        line: u32,
+        stack_node: u32,
+    ) -> Result<(), RuntimeError> {
         let wait_start = tetra_obs::metric_now_ns();
         let detect = self.detect.load(Ordering::Relaxed);
         let mut st = self.state.lock();
         self.acquisitions.fetch_add(1, Ordering::Relaxed);
-        if let Some(&(owner, owner_line, _)) = st.holders.get(name) {
+        if let Some(&(owner, owner_line, _, _)) = st.holders.get(name) {
             if owner == tid {
                 return Err(RuntimeError::new(
                     ErrorKind::LockReentry,
@@ -108,18 +117,18 @@ impl LockRegistry {
         if blocked {
             self.contended.fetch_add(1, Ordering::Relaxed);
         }
-        tetra_obs::lock_wait(tid, name, line, wait_start);
-        st.holders.insert(name.to_string(), (tid, line, tetra_obs::metric_now_ns()));
+        tetra_obs::lock_wait(tid, name, line, wait_start, stack_node);
+        st.holders.insert(name.to_string(), (tid, line, tetra_obs::metric_now_ns(), stack_node));
         Ok(())
     }
 
     /// Release `name`; the thread must currently hold it.
     pub fn release(&self, tid: u32, name: &str) {
         let mut st = self.state.lock();
-        let acquired_at = match st.holders.get(name) {
-            Some(&(owner, _, acquired_at)) if owner == tid => {
+        let (acquired_at, stack_node) = match st.holders.get(name) {
+            Some(&(owner, _, acquired_at, node)) if owner == tid => {
                 st.holders.remove(name);
-                acquired_at
+                (acquired_at, node)
             }
             other => {
                 debug_assert!(false, "release of `{name}` by {tid}, holder {other:?}");
@@ -127,7 +136,7 @@ impl LockRegistry {
             }
         };
         drop(st);
-        tetra_obs::lock_hold(tid, name, acquired_at);
+        tetra_obs::lock_hold(tid, name, acquired_at, stack_node);
         self.cv.notify_all();
     }
 
@@ -138,7 +147,7 @@ impl LockRegistry {
         let mut names: Vec<String> = st
             .holders
             .iter()
-            .filter(|(_, (owner, _, _))| *owner == tid)
+            .filter(|(_, (owner, _, _, _))| *owner == tid)
             .map(|(name, _)| name.clone())
             .collect();
         names.sort();
@@ -152,7 +161,7 @@ impl LockRegistry {
 
     /// Current holder of `name`, if held (debugger display).
     pub fn holder_of(&self, name: &str) -> Option<u32> {
-        self.state.lock().holders.get(name).map(|&(tid, _, _)| tid)
+        self.state.lock().holders.get(name).map(|&(tid, _, _, _)| tid)
     }
 
     /// (total acquisitions, contended acquisitions).
@@ -170,7 +179,7 @@ fn find_cycle(st: &LockState, tid: u32, want: &str) -> Option<Vec<(u32, String)>
     let mut cycle = vec![(tid, want.to_string())];
     let mut current = want.to_string();
     loop {
-        let &(owner, _, _) = st.holders.get(&current)?;
+        let &(owner, _, _, _) = st.holders.get(&current)?;
         if owner == tid {
             return Some(cycle);
         }
@@ -197,7 +206,7 @@ mod tests {
     #[test]
     fn uncontended_acquire_release() {
         let reg = LockRegistry::new();
-        reg.acquire(0, "a", 1).unwrap();
+        reg.acquire(0, "a", 1, 0).unwrap();
         assert_eq!(reg.holder_of("a"), Some(0));
         assert_eq!(reg.held_by(0), vec!["a".to_string()]);
         reg.release(0, "a");
@@ -209,8 +218,8 @@ mod tests {
     #[test]
     fn reentry_is_detected() {
         let reg = LockRegistry::new();
-        reg.acquire(0, "a", 3).unwrap();
-        let err = reg.acquire(0, "a", 7).unwrap_err();
+        reg.acquire(0, "a", 3, 0).unwrap();
+        let err = reg.acquire(0, "a", 7, 0).unwrap_err();
         assert_eq!(err.kind, ErrorKind::LockReentry);
         assert_eq!(err.line, 7);
         assert!(err.message.contains("line 3"), "{err}");
@@ -219,19 +228,19 @@ mod tests {
     #[test]
     fn different_names_are_independent() {
         let reg = LockRegistry::new();
-        reg.acquire(0, "a", 1).unwrap();
-        reg.acquire(0, "b", 2).unwrap();
+        reg.acquire(0, "a", 1, 0).unwrap();
+        reg.acquire(0, "b", 2, 0).unwrap();
         assert_eq!(reg.held_by(0), vec!["a".to_string(), "b".to_string()]);
     }
 
     #[test]
     fn contended_acquire_blocks_until_release() {
         let reg = Arc::new(LockRegistry::new());
-        reg.acquire(0, "a", 1).unwrap();
+        reg.acquire(0, "a", 1, 0).unwrap();
         let (tx, rx) = mpsc::channel();
         let reg2 = Arc::clone(&reg);
         let t = std::thread::spawn(move || {
-            reg2.acquire(1, "a", 5).unwrap();
+            reg2.acquire(1, "a", 5, 0).unwrap();
             tx.send(()).unwrap();
             reg2.release(1, "a");
         });
@@ -248,14 +257,14 @@ mod tests {
     fn two_lock_deadlock_is_detected() {
         // Thread 0 holds a and wants b; thread 1 holds b and wants a.
         let reg = Arc::new(LockRegistry::new());
-        reg.acquire(0, "a", 1).unwrap();
+        reg.acquire(0, "a", 1, 0).unwrap();
         let reg2 = Arc::clone(&reg);
         let (started_tx, started_rx) = mpsc::channel();
         let t = std::thread::spawn(move || {
-            reg2.acquire(1, "b", 2).unwrap();
+            reg2.acquire(1, "b", 2, 0).unwrap();
             started_tx.send(()).unwrap();
             // Will block (0 holds a), but is not itself a deadlock yet.
-            let r = reg2.acquire(1, "a", 3);
+            let r = reg2.acquire(1, "a", 3, 0);
             // Once thread 0's acquire of b errors out and releases a, we get it.
             r
         });
@@ -266,7 +275,7 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "thread 1 never blocked");
             std::thread::yield_now();
         }
-        let err = reg.acquire(0, "b", 9).unwrap_err();
+        let err = reg.acquire(0, "b", 9, 0).unwrap_err();
         assert_eq!(err.kind, ErrorKind::Deadlock);
         assert!(err.message.contains("lock `b`"), "{err}");
         assert!(err.message.contains("lock `a`"), "{err}");
@@ -281,22 +290,22 @@ mod tests {
     fn detection_can_be_disabled() {
         let reg = LockRegistry::new();
         reg.set_detection(false);
-        reg.acquire(0, "a", 1).unwrap();
+        reg.acquire(0, "a", 1, 0).unwrap();
         // Re-entry now reports nothing special... but we cannot block the
         // test thread forever; re-entry stays an error even when detection
         // is off? No: with detection off we still refuse re-entry because it
         // is *always* a self-deadlock with no observer to break it.
-        let err = reg.acquire(0, "a", 2).unwrap_err();
+        let err = reg.acquire(0, "a", 2, 0).unwrap_err();
         assert_eq!(err.kind, ErrorKind::LockReentry);
     }
 
     #[test]
     fn waiting_on_reports_blocked_thread() {
         let reg = Arc::new(LockRegistry::new());
-        reg.acquire(0, "m", 1).unwrap();
+        reg.acquire(0, "m", 1, 0).unwrap();
         let reg2 = Arc::clone(&reg);
         let t = std::thread::spawn(move || {
-            reg2.acquire(7, "m", 2).unwrap();
+            reg2.acquire(7, "m", 2, 0).unwrap();
             reg2.release(7, "m");
         });
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
@@ -322,7 +331,7 @@ mod tests {
                 let counter = Arc::clone(&counter);
                 scope.spawn(move || {
                     for _ in 0..100 {
-                        reg.acquire(tid, "counter", 1).unwrap();
+                        reg.acquire(tid, "counter", 1, 0).unwrap();
                         let mut c = counter.lock();
                         let old = *c;
                         std::thread::yield_now();

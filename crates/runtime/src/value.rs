@@ -274,6 +274,10 @@ pub struct GcBox {
     /// allocated. Mutations may grow the object afterwards (arrays), so the
     /// sweep must subtract this recorded figure, not a fresh estimate.
     pub(crate) size: usize,
+    /// Packed allocation site (`tetra_obs::heapprof::pack_site`): the
+    /// call-path node and line that allocated this object, 0 when heap
+    /// profiling was off. Read by the sweep's live-object census.
+    pub(crate) site: u64,
     pub(crate) obj: Object,
 }
 

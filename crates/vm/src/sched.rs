@@ -93,6 +93,8 @@ struct SimLock {
     holder_line: u32,
     /// Trace timestamp of the current acquisition (0 when tracing is off).
     held_since_ns: u64,
+    /// Shadow call-path node of the acquiring code (lock attribution).
+    holder_node: u32,
     waiters: Vec<u32>,
 }
 
@@ -152,10 +154,11 @@ impl<'p> Scheduler<'p> {
         locals: Table,
         outers: Vec<Table>,
         at_time: u64,
+        shadow_node: u32,
     ) -> u32 {
         let id = self.next_id;
         self.next_id += 1;
-        let mut t = VmThread::new(id, parent, unit, locals, outers, &self.registry);
+        let mut t = VmThread::new(id, parent, unit, locals, outers, &self.registry, shadow_node);
         t.vtime = at_time;
         self.threads.push(t);
         id
@@ -169,7 +172,15 @@ impl<'p> Scheduler<'p> {
         let main_unit = self.program.main;
         let nlocals = self.program.unit(main_unit).nlocals as usize;
         let locals = self.registry.new_table(vec![Value::None; nlocals]);
-        self.new_thread(None, main_unit, locals, Vec::new(), 0);
+        // The main unit is entered directly (no Call instruction), so seed
+        // its call path here — the interpreter reaches `main` through
+        // `call_user`, and the flame paths must agree across engines.
+        let main_node = if tetra_obs::attribution_enabled() {
+            tetra_obs::stack::child(tetra_obs::stack::ROOT, &self.program.unit(main_unit).name)
+        } else {
+            tetra_obs::stack::ROOT
+        };
+        self.new_thread(None, main_unit, locals, Vec::new(), 0, main_node);
 
         loop {
             // Pick the runnable thread with the smallest virtual clock
@@ -223,7 +234,12 @@ impl<'p> Scheduler<'p> {
             let batch: u32 = if runnable == 1 { 256 } else { 1 };
             let idx = tid as usize;
             let mut pending: Option<Outcome> = None;
-            let dispatch_start = tetra_obs::now_ns();
+            // Dispatch spans are flushed whenever the thread's shadow call
+            // path changes (Call/Return), so each VmDispatch event covers
+            // exactly one call path and can feed the flame output.
+            let mut batch_start = tetra_obs::now_ns();
+            let mut batch_node = self.threads[idx].current_shadow_node();
+            let mut batch_count: u32 = 0;
             let mut dispatched: u32 = 0;
             while dispatched < batch {
                 // Fast path within the quantum: run allocation-free
@@ -243,6 +259,9 @@ impl<'p> Scheduler<'p> {
                     if n > 0 {
                         self.instructions += n as u64;
                         dispatched += n;
+                        // The quantum never executes Call/Return, so the
+                        // shadow node cannot have changed.
+                        batch_count += n;
                         let m = &self.config.cost;
                         let (p, s) = (m.instr_parallel, m.instr_serial);
                         let thread = &mut self.threads[idx];
@@ -276,6 +295,7 @@ impl<'p> Scheduler<'p> {
                 let stepped = thread.step(&world);
                 self.instructions += 1;
                 dispatched += 1;
+                batch_count += 1;
                 let (outcome, cost) = match stepped {
                     Ok(x) => x,
                     Err(e) => {
@@ -306,13 +326,22 @@ impl<'p> Scheduler<'p> {
                         self.runtime_free = thread.vtime;
                     }
                 }
+                // A Call or Return moved the thread onto a different call
+                // path: flush the batch so far under the old node.
+                let node = thread.current_shadow_node();
+                if node != batch_node {
+                    tetra_obs::vm_dispatch(tid, batch_count, batch_start, batch_node);
+                    batch_start = tetra_obs::now_ns();
+                    batch_count = 0;
+                    batch_node = node;
+                }
                 if !matches!(outcome, Outcome::Normal) {
                     pending = Some(outcome);
                     break;
                 }
             }
-            if dispatched > 0 {
-                tetra_obs::vm_dispatch(tid, dispatched, dispatch_start);
+            if batch_count > 0 {
+                tetra_obs::vm_dispatch(tid, batch_count, batch_start, batch_node);
             }
             if let Some(outcome) = pending {
                 self.handle(tid, outcome)?;
@@ -333,10 +362,12 @@ impl<'p> Scheduler<'p> {
             Outcome::Normal => Ok(()),
             Outcome::Finished => self.finish_or_refeed(tid),
             Outcome::Spawn { thunks, join } => {
-                let (parent_time, parent_frame) = {
+                let (parent_time, parent_frame, spawn_node) = {
                     let t = self.thread(tid);
                     let f = t.frames.last().expect("spawning thread has a frame");
-                    (t.vtime, (f.locals.clone(), f.outers.clone()))
+                    // Children attribute under the spawning call path;
+                    // thunk frames themselves add no path segment.
+                    (t.vtime, (f.locals.clone(), f.outers.clone()), f.shadow_node)
                 };
                 let spawn_cost = self.config.cost.spawn;
                 let mut children = Vec::with_capacity(thunks.len());
@@ -348,7 +379,7 @@ impl<'p> Scheduler<'p> {
                     let mut outers = vec![parent_frame.0.clone()];
                     outers.extend(parent_frame.1.iter().cloned());
                     let start = parent_time + spawn_cost * (i as u64 + 1);
-                    let id = self.new_thread(Some(tid), *unit, locals, outers, start);
+                    let id = self.new_thread(Some(tid), *unit, locals, outers, start, spawn_node);
                     self.thread(id).background = !join;
                     children.push(id);
                 }
@@ -366,10 +397,10 @@ impl<'p> Scheduler<'p> {
                 if items.is_empty() {
                     return Ok(()); // step() already advanced past the instruction
                 }
-                let (parent_time, parent_frame) = {
+                let (parent_time, parent_frame, spawn_node) = {
                     let t = self.thread(tid);
                     let f = t.frames.last().expect("spawning thread has a frame");
-                    (t.vtime, (f.locals.clone(), f.outers.clone()))
+                    (t.vtime, (f.locals.clone(), f.outers.clone()), f.shadow_node)
                 };
                 let workers = self.config.workers.clamp(1, items.len());
                 let per = items.len().div_ceil(workers);
@@ -383,8 +414,14 @@ impl<'p> Scheduler<'p> {
                     let mut outers = vec![parent_frame.0.clone()];
                     outers.extend(parent_frame.1.iter().cloned());
                     let start = parent_time + spawn_cost * (i as u64 + 1);
-                    let id =
-                        self.new_thread(Some(tid), thunk, locals.clone(), outers.clone(), start);
+                    let id = self.new_thread(
+                        Some(tid),
+                        thunk,
+                        locals.clone(),
+                        outers.clone(),
+                        start,
+                        spawn_node,
+                    );
                     // The chunk lives in a registered table so its object
                     // elements stay rooted for the whole loop.
                     let items = self.registry.new_table(chunk.to_vec());
@@ -400,10 +437,12 @@ impl<'p> Scheduler<'p> {
                 Ok(())
             }
             Outcome::WantLock { name, line } => {
+                let acquire_node = self.thread(tid).current_shadow_node();
                 let entry = self.locks.entry(name.clone()).or_insert(SimLock {
                     holder: None,
                     holder_line: 0,
                     held_since_ns: 0,
+                    holder_node: 0,
                     waiters: Vec::new(),
                 });
                 match entry.holder {
@@ -411,6 +450,7 @@ impl<'p> Scheduler<'p> {
                         entry.holder = Some(tid);
                         entry.holder_line = line;
                         entry.held_since_ns = tetra_obs::now_ns();
+                        entry.holder_node = acquire_node;
                         let acquired_ns = entry.held_since_ns;
                         let t = self.thread(tid);
                         // A woken waiter re-runs EnterLock and acquires here:
@@ -420,7 +460,7 @@ impl<'p> Scheduler<'p> {
                         } else {
                             (acquired_ns, line)
                         };
-                        tetra_obs::lock_wait(tid, &name, wait_line, wait_start);
+                        tetra_obs::lock_wait(tid, &name, wait_line, wait_start, acquire_node);
                         t.held_locks.push(name);
                         t.advance_ip();
                         Ok(())
@@ -467,7 +507,7 @@ impl<'p> Scheduler<'p> {
         if let Some(entry) = self.locks.get_mut(name) {
             debug_assert_eq!(entry.holder, Some(tid));
             entry.holder = None;
-            tetra_obs::lock_hold(tid, name, entry.held_since_ns);
+            tetra_obs::lock_hold(tid, name, entry.held_since_ns, entry.holder_node);
             let waiters = std::mem::take(&mut entry.waiters);
             for w in waiters {
                 let t = self.thread(w);
@@ -549,7 +589,15 @@ impl<'p> Scheduler<'p> {
         if let Some((unit, locals, outers, item)) = refeed {
             locals.write()[0] = item;
             let t = self.thread(tid);
-            t.frames.push(crate::vm::VmFrame { unit, ip: 0, locals, outers, stack_base: 0 });
+            let shadow_node = t.shadow_root;
+            t.frames.push(crate::vm::VmFrame {
+                unit,
+                ip: 0,
+                locals,
+                outers,
+                stack_base: 0,
+                shadow_node,
+            });
             t.stack.write().clear();
             return Ok(());
         }

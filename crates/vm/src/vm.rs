@@ -84,6 +84,11 @@ pub struct VmFrame {
     pub outers: Vec<Table>,
     /// Operand stack height at frame entry (restored on return).
     pub stack_base: usize,
+    /// Shadow call-path node ([`tetra_obs::stack`]) this frame runs under.
+    /// Stored per frame (not per thread) so unwinding frames automatically
+    /// restores the attribution path; `stack::ROOT` when attribution is
+    /// off.
+    pub shadow_node: u32,
 }
 
 /// Why a thread cannot run right now.
@@ -148,6 +153,9 @@ pub struct VmThread {
     /// Trace timestamp of the blocking acquire in progress, with the
     /// `lock` statement's line (used when the thread is woken).
     pub block_start: (u64, u32),
+    /// Shadow call-path node this thread was spawned under: the seed for
+    /// its outermost frame, and for re-fed parallel-for worker frames.
+    pub shadow_root: u32,
 }
 
 /// Cost class of an executed instruction, mapped to virtual time by the
@@ -210,11 +218,13 @@ impl VmThread {
         locals: Table,
         outers: Vec<Table>,
         registry: &Registry,
+        shadow_node: u32,
     ) -> VmThread {
         VmThread {
             id,
             parent,
-            frames: vec![VmFrame { unit, ip: 0, locals, outers, stack_base: 0 }],
+            frames: vec![VmFrame { unit, ip: 0, locals, outers, stack_base: 0, shadow_node }],
+            shadow_root: shadow_node,
             stack: registry.new_table(Vec::new()),
             state: VmState::Runnable,
             vtime: 0,
@@ -227,6 +237,12 @@ impl VmThread {
             trace_start_ns: tetra_obs::now_ns(),
             block_start: (0, 0),
         }
+    }
+
+    /// The shadow call-path node the thread is currently running under
+    /// (its spawn node once the outermost frame has returned).
+    pub fn current_shadow_node(&self) -> u32 {
+        self.frames.last().map(|f| f.shadow_node).unwrap_or(self.shadow_root)
     }
 
     pub fn current_line(&self, program: &CompiledProgram) -> u32 {
@@ -451,6 +467,11 @@ impl VmThread {
         let instr = unit.code[frame.ip].clone();
         let line = unit.line_at(frame.ip);
         self.instructions += 1;
+        if tetra_obs::heap_profile_enabled() {
+            // Any allocation this instruction performs is charged to the
+            // current call path and source line.
+            tetra_obs::heapprof::set_site(frame.shadow_node, line);
+        }
 
         let octx =
             ops::OpCtx { heap: world.heap, mutator: world.mutator, roots: world.registry, line };
@@ -589,12 +610,21 @@ impl VmThread {
                         "call depth exceeded 1000 (infinite recursion?)",
                     ));
                 }
+                // Extend the shadow call path; Return pops the frame and
+                // thereby restores the caller's node.
+                let shadow_node = if tetra_obs::attribution_enabled() {
+                    let parent = self.frames.last().unwrap().shadow_node;
+                    tetra_obs::stack::child(parent, &callee.name)
+                } else {
+                    tetra_obs::stack::ROOT
+                };
                 self.frames.push(VmFrame {
                     unit: f,
                     ip: 0,
                     locals,
                     outers: Vec::new(),
                     stack_base,
+                    shadow_node,
                 });
             }
             Instr::CallBuiltin(b, argc) => {

@@ -1,0 +1,149 @@
+//! Flame-profiler and heap-profiler integration tests.
+//!
+//! Observability sessions are process-global, so every test here takes
+//! `SESSION_GUARD` before beginning one (the harness runs tests on
+//! parallel threads by default).
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard};
+use tetra::{BufferConsole, InterpConfig, Tetra, VmConfig};
+
+static SESSION_GUARD: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    SESSION_GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn compile(src: &str) -> Tetra {
+    Tetra::compile(src).unwrap_or_else(|e| panic!("compile:\n{}", e.render()))
+}
+
+/// Nested calls plus a parallel for, so call paths have real depth and
+/// spawned workers must inherit the spawning path.
+const CALLS_SRC: &str = "\
+def leaf(i int) int:
+    return i * i
+
+def mid(n int) int:
+    s = 0
+    i = 0
+    while i < n:
+        s += leaf(i)
+        i += 1
+    return s
+
+def main():
+    total = 0
+    parallel for i in [1 ... 4]:
+        lock t:
+            total += mid(10)
+    print(total)
+";
+
+fn interp_trace(src: &str) -> tetra::obs::session::Trace {
+    let program = compile(src);
+    tetra::obs::session::begin(tetra::obs::session::Config::default());
+    let result = program.run_with(InterpConfig::default(), BufferConsole::with_input(&[]));
+    let trace = tetra::obs::session::end();
+    result.expect("interp run failed");
+    trace
+}
+
+fn vm_trace(src: &str) -> tetra::obs::session::Trace {
+    let program = compile(src);
+    tetra::obs::session::begin(tetra::obs::session::Config::default());
+    let result = program.simulate_with(VmConfig::default(), BufferConsole::with_input(&[]));
+    let trace = tetra::obs::session::end();
+    result.expect("vm run failed");
+    trace
+}
+
+#[test]
+fn folded_totals_match_line_self_time() {
+    let _guard = exclusive();
+    let trace = interp_trace(CALLS_SRC);
+    let folded = tetra::obs::flame::folded(&trace);
+    assert!(!folded.is_empty(), "no flame samples collected");
+    // Every nanosecond of statement self-time lands in exactly one folded
+    // stack: the two views are different aggregations of the same samples.
+    let folded_total: u64 = folded.values().sum();
+    let line_total: u64 =
+        tetra::obs::profile::line_stats(&trace).values().map(|(_count, self_ns)| self_ns).sum();
+    assert_eq!(folded_total, line_total, "folded stacks and line stats must sum identically");
+}
+
+#[test]
+fn interp_and_vm_produce_the_same_call_paths() {
+    let _guard = exclusive();
+    let interp: BTreeSet<String> =
+        tetra::obs::flame::folded(&interp_trace(CALLS_SRC)).into_keys().collect();
+    let vm: BTreeSet<String> =
+        tetra::obs::flame::folded(&vm_trace(CALLS_SRC)).into_keys().collect();
+    assert!(!interp.is_empty() && !vm.is_empty());
+    // Counts differ (wall time vs virtual dispatch), but the *set* of call
+    // paths is engine-independent: same program, same shadow stacks.
+    assert_eq!(interp, vm, "engines disagree on the set of collapsed stacks");
+    for path in ["main", "main;mid", "main;mid;leaf"] {
+        assert!(interp.contains(path), "missing path {path} in {interp:?}");
+    }
+}
+
+#[test]
+fn heap_profile_attributes_sites_by_call_path() {
+    let _guard = exclusive();
+    let src = "\
+def churn(n int) int:
+    s = 0
+    i = 0
+    while i < n:
+        t = fill(40, i)
+        s += t[0]
+        i += 1
+    return s
+
+def main():
+    keep = fill(2000, 7)
+    print(churn(50))
+    print(keep[0])
+";
+    let program = compile(src);
+    tetra::obs::session::begin(tetra::obs::session::Config::default());
+    // Stress GC so a census (live-after-last-GC) is guaranteed to run.
+    let mut cfg = InterpConfig::default();
+    cfg.gc.stress = true;
+    let result = program.run_with(cfg, BufferConsole::with_input(&[]));
+    let trace = tetra::obs::session::end();
+    result.expect("interp run failed");
+
+    assert!(!trace.heap.is_empty(), "no allocation sites recorded");
+    let churn_site = trace
+        .heap
+        .sites
+        .iter()
+        .find(|s| s.path(&trace.names) == "main;churn")
+        .expect("no site attributed to main;churn");
+    assert!(churn_site.allocs >= 50, "churn loop allocations undercounted: {churn_site:?}");
+    // `keep` is allocated in main and stays live across every collection.
+    let live_in_main =
+        trace.heap.sites.iter().any(|s| s.path(&trace.names) == "main" && s.live_bytes > 0);
+    assert!(live_in_main, "long-lived allocation in main has no live bytes: {:?}", trace.heap);
+    // The rendered section names sites as function:line.
+    let report = tetra::obs::profile::report(&trace, None);
+    assert!(report.contains("heap allocation sites"), "{report}");
+    assert!(report.contains("churn:"), "{report}");
+}
+
+#[test]
+fn lock_contention_is_attributed_to_call_paths() {
+    let _guard = exclusive();
+    let trace = interp_trace(CALLS_SRC);
+    let report = tetra::obs::profile::report(&trace, None);
+    assert!(report.contains("lock contention by call path"), "{report}");
+    // The `lock t:` sits directly in the parallel-for body, which runs
+    // under the spawning path — `main`.
+    let section = report.split("lock contention by call path").nth(1).unwrap_or("");
+    assert!(section.contains("main"), "lock path missing from: {report}");
+    // And the hot-path section names the deepest call chain.
+    assert!(report.contains("hot paths"), "{report}");
+    assert!(report.contains("main;mid;leaf") || report.contains("main;mid"), "{report}");
+}
