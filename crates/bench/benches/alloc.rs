@@ -1,0 +1,86 @@
+//! E9 — allocation-heavy `parallel for` microbenchmarks for the sharded
+//! GC heap (DESIGN.md, "GC design").
+//!
+//! Every loop body below allocates — strings via concatenation, arrays via
+//! literals and `append` — so the benchmark measures the allocator itself,
+//! not the work between allocations. Before the sharded heap, each
+//! allocation pushed onto one global `Mutex<Vec<_>>`, so at T=4 the
+//! workers serialized on that lock; with per-mutator segments the hot
+//! path touches only thread-private memory plus a few relaxed atomics.
+//!
+//! * `array_churn`: each iteration builds a short-lived array and appends
+//!   to it (1 and 4 threads);
+//! * `string_churn`: each iteration concatenates strings, allocating a
+//!   fresh one per `+` (1 and 4 threads);
+//! * `mixed_retain`: workers append every eighth array into a shared
+//!   accumulator so the sweep always has live objects to skip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tetra::{BufferConsole, HeapConfig, InterpConfig, Tetra};
+use tetra_bench::compile;
+
+fn run_threads(p: &Tetra, threads: usize) {
+    // A small threshold keeps the collector honest: the benchmark exercises
+    // allocation *and* the per-segment sweep, not just free-list pops.
+    let console = BufferConsole::new();
+    p.run_with(
+        InterpConfig {
+            worker_threads: threads,
+            gc: HeapConfig {
+                initial_threshold: 1 << 18,
+                min_threshold: 1 << 18,
+                ..HeapConfig::default()
+            },
+            ..InterpConfig::default()
+        },
+        console,
+    )
+    .unwrap();
+}
+
+fn bench_array_churn(c: &mut Criterion) {
+    let p = compile(
+        "def main():\n    parallel for i in [1 ... 8000]:\n        a = [i, i + 1, i + 2]\n        append(a, i * 2)\n        append(a, i * 3)\n",
+    );
+    let mut group = c.benchmark_group("e9_alloc_array_churn");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| run_threads(&p, t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_string_churn(c: &mut Criterion) {
+    let p = compile(
+        "def main():\n    parallel for i in [1 ... 6000]:\n        s = \"item-\" + str(i)\n        s = s + \"-suffix\"\n        s = s + str(i + 1)\n",
+    );
+    let mut group = c.benchmark_group("e9_alloc_string_churn");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| run_threads(&p, t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mixed_retain(c: &mut Criterion) {
+    // `keep` survives every collection, so sweeps must walk live slots and
+    // the census (under --heap-profile) stays non-trivial.
+    let p = compile(
+        "def main():\n    keep = [0]\n    parallel for i in [1 ... 6000]:\n        t = [i, i * 2]\n        if i % 8 == 0:\n            lock keep:\n                append(keep, i)\n    print(len(keep) > 0)\n",
+    );
+    let mut group = c.benchmark_group("e9_alloc_mixed_retain");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| run_threads(&p, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_array_churn, bench_string_churn, bench_mixed_retain);
+criterion_main!(benches);

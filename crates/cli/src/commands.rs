@@ -8,8 +8,8 @@ const USAGE: &str = "\
 tetra — the Tetra educational parallel programming language
 
 USAGE:
-  tetra run <file.tet> [--threads N] [--gil] [--gc-stress] [--gc-stats] [--no-detect]
-                       [--trace out.json] [--metrics] [--heap-profile]
+  tetra run <file.tet> [--threads N] [--gil] [--gc-stress] [--gc-stats] [--gc-threads N]
+                       [--no-detect] [--trace out.json] [--metrics] [--heap-profile]
   tetra profile <file.tet> [--threads N] [--flame out.folded]
                                     run with tracing and print a profile report
                                     (--flame also writes collapsed stacks for
@@ -38,6 +38,8 @@ struct Opts {
     gil: bool,
     gc_stress: bool,
     gc_stats: bool,
+    /// Cap on parallel mark workers (`--gc-threads`; None = one per core).
+    gc_threads: Option<usize>,
     no_detect: bool,
     fold: bool,
     trace: Option<String>,
@@ -55,6 +57,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         gil: false,
         gc_stress: false,
         gc_stats: false,
+        gc_threads: None,
         no_detect: false,
         fold: false,
         trace: None,
@@ -95,6 +98,10 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--gil" => o.gil = true,
             "--gc-stress" => o.gc_stress = true,
             "--gc-stats" => o.gc_stats = true,
+            "--gc-threads" => {
+                let v = it.next().ok_or("--gc-threads needs a value")?;
+                o.gc_threads = Some(v.parse::<usize>().map_err(|e| e.to_string())?);
+            }
             "--no-detect" => o.no_detect = true,
             "--fold" => o.fold = true,
             other if other.starts_with("--") => {
@@ -173,6 +180,7 @@ fn interp_config(o: &Opts) -> InterpConfig {
     }
     c.gil = o.gil;
     c.gc.stress = o.gc_stress;
+    c.gc.gc_threads = o.gc_threads.unwrap_or(0);
     c.detect_deadlocks = !o.no_detect;
     c
 }
@@ -219,8 +227,12 @@ fn run(args: &[String]) -> Result<(), String> {
             stats.gc.live_objects
         );
         eprintln!(
-            "gc pauses: {} us total, {} us max",
-            stats.gc.pause_total_us, stats.gc.pause_max_us
+            "gc pauses: {} us total, {} us max (mark {} us, sweep {} us)",
+            stats.gc.pause_total_us, stats.gc.pause_max_us, stats.gc.mark_us, stats.gc.sweep_us
+        );
+        eprintln!(
+            "gc allocator: {} fast-path, {} segment refills, {} mark worker(s) max",
+            stats.gc.alloc_fast_path, stats.gc.segment_refills, stats.gc.mark_workers
         );
         eprintln!(
             "threads: {} spawned; locks: {} acquisitions ({} contended)",
@@ -317,11 +329,12 @@ fn disasm(args: &[String]) -> Result<(), String> {
 fn sim(args: &[String]) -> Result<(), String> {
     let o = parse_opts(args)?;
     let (program, _) = compile_file(need_file(&o)?)?;
-    let cfg = VmConfig {
+    let mut cfg = VmConfig {
         workers: o.threads.unwrap_or(4),
         cost: tetra::vm::CostModel { gil: o.gil, ..Default::default() },
         ..VmConfig::default()
     };
+    cfg.gc.gc_threads = o.gc_threads.unwrap_or(0);
     let observing = o.trace.is_some() || o.metrics || o.heap_profile;
     if observing {
         tetra::obs::session::begin(tetra::obs::session::Config {

@@ -188,3 +188,23 @@ fn gc_stats_flag_reports() {
     assert!(err.contains("collections"), "{err}");
     let _ = std::fs::remove_file(path);
 }
+
+#[test]
+fn gc_stats_reports_phases_and_allocator_counters() {
+    let path = write_temp(
+        "gcphases",
+        "def main():\n    s = \"\"\n    for i in [1 ... 80]:\n        s = s + str(i)\n    print(len(s))\n",
+    );
+    let out = tetra()
+        .args(["run", "--gc-stats", "--gc-stress", "--gc-threads", "2"])
+        .arg(&path)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mark"), "phase breakdown missing: {err}");
+    assert!(err.contains("sweep"), "phase breakdown missing: {err}");
+    assert!(err.contains("fast-path"), "allocator counters missing: {err}");
+    assert!(err.contains("segment refills"), "allocator counters missing: {err}");
+    let _ = std::fs::remove_file(path);
+}

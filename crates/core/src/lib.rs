@@ -51,7 +51,7 @@ pub mod programs;
 use std::sync::Arc;
 pub use tetra_interp::{InterpConfig, RunStats};
 use tetra_lexer::Diagnostic;
-pub use tetra_runtime::{BufferConsole, ConsoleRef, RuntimeError, StdConsole};
+pub use tetra_runtime::{BufferConsole, ConsoleRef, GcStats, HeapConfig, RuntimeError, StdConsole};
 use tetra_types::TypedProgram;
 pub use tetra_vm::{SimStats, VmConfig};
 

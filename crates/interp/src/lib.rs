@@ -201,6 +201,9 @@ impl Interp {
             drop(background);
         }
         drop(ctx);
+        // Allocator/collector counters go to the metrics registry once per
+        // run — never from the allocation hot path.
+        self.shared.heap.publish_metrics();
         result?;
         if let Some(e) = background_error {
             return Err(e);
@@ -553,7 +556,11 @@ def main():
         let typed = tetra_types::check(tetra_parser::parse(src).unwrap()).unwrap();
         let console = BufferConsole::new();
         let config = InterpConfig {
-            gc: HeapConfig { initial_threshold: 1 << 14, min_threshold: 1 << 12, stress: false },
+            gc: HeapConfig {
+                initial_threshold: 1 << 14,
+                min_threshold: 1 << 12,
+                ..HeapConfig::default()
+            },
             ..InterpConfig::default()
         };
         let interp = Interp::new(typed, config, console.clone());

@@ -164,10 +164,17 @@ impl ThreadCtx {
 
     // ---- GC integration ---------------------------------------------------
 
-    /// GC safepoint (called once per statement).
+    /// GC safepoint (called once per statement). When a collection is
+    /// pending, the thread flags itself `GcParked` before parking so the
+    /// debugger's thread pane shows *why* it is stopped — the cell is all
+    /// atomics, so inspection never blocks on a paused world.
     pub fn poll_gc(&self) {
-        let view = self.roots_view();
-        self.shared.heap.poll(&self.mutator, &view);
+        if self.shared.heap.gc_pending() {
+            self.cell.set_state(ThreadState::GcParked);
+            let view = self.roots_view();
+            self.shared.heap.poll(&self.mutator, &view);
+            self.cell.set_state(ThreadState::Running);
+        }
     }
 
     /// Allocate a heap object with this thread's state as roots.

@@ -250,9 +250,12 @@ pub enum GcPhase {
     Pause,
 }
 
-/// GC phase span; `collection` is the ordinal of the collection.
+/// GC phase span; `collection` is the ordinal of the collection. `detail`
+/// is a phase-specific payload carried in the event's `b` word: the number
+/// of mark workers for [`GcPhase::Mark`], the number of segments swept for
+/// [`GcPhase::Sweep`], and 0 otherwise.
 #[inline]
-pub fn gc_phase(tid: u32, phase: GcPhase, collection: u32, start_ns: u64) {
+pub fn gc_phase(tid: u32, phase: GcPhase, collection: u32, start_ns: u64, detail: u32) {
     let end = metric_now_ns();
     let dur = end.saturating_sub(start_ns);
     if phase == GcPhase::Pause {
@@ -267,7 +270,7 @@ pub fn gc_phase(tid: u32, phase: GcPhase, collection: u32, start_ns: u64) {
         GcPhase::Sweep => EventKind::GcSweep,
         GcPhase::Pause => EventKind::GcPause,
     };
-    ring::emit(Event { kind, tid, start_ns, dur_ns: dur, a: collection, b: 0, c: 0 });
+    ring::emit(Event { kind, tid, start_ns, dur_ns: dur, a: collection, b: detail, c: 0 });
 }
 
 /// One VM dispatch batch: `instructions` instructions executed for `tid`

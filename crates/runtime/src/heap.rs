@@ -1,13 +1,17 @@
-//! The hand-rolled stop-the-world mark-sweep garbage collector.
+//! The hand-rolled stop-the-world mark-sweep garbage collector, sharded
+//! per mutator.
 //!
 //! The paper sells Tetra as a garbage-collected language ("provides garbage
 //! collection and is designed to be as simple as possible", §I) whose
 //! interpreter threads *share* runtime data structures (§IV). That forces a
 //! concurrent-mutator design:
 //!
-//! * Objects are individually boxed; the heap keeps a side list for sweeping.
 //! * Every interpreter/VM thread registers as a **mutator** and polls a
 //!   [`Heap::poll`] safepoint at each statement.
+//! * Each mutator owns a private **allocation segment** — a chunked
+//!   free-list arena of `GcBox` slots — so the allocation hot path touches
+//!   only thread-private memory plus a few relaxed atomics. No global lock
+//!   is taken between collections.
 //! * When an allocation trips the threshold, the allocating thread becomes
 //!   the collector: it raises the `gc_flag`, publishes its own roots, and
 //!   waits until every other mutator is **parked** at a safepoint or inside
@@ -17,8 +21,19 @@
 //! * Roots are published as plain values (temporaries/operand stacks) plus
 //!   shared frame handles; frames are traced at mark time so concurrent
 //!   mutation between publications cannot hide objects.
-//! * Mark is an explicit worklist (no recursion), sweep frees unmarked
-//!   boxes, and the threshold doubles over the live size.
+//! * Mark runs **in parallel** when it pays: the coordinator batches the
+//!   published root sets into a shared work queue and `min(mutators,
+//!   cores)` workers (capped by `HeapConfig::gc_threads`) drain it,
+//!   donating half their local worklist back whenever it grows large. The
+//!   mark bit is an atomic swap, so two workers racing on one object agree
+//!   on a single winner.
+//! * Sweep runs per-segment: dead slots are dropped in place and returned
+//!   to their segment's free list, empty chunks are released, and the
+//!   live census per allocation site feeds the heap profiler.
+//! * Segments of exited mutators are handed back to a global pool under
+//!   the control lock — the collector holds that lock for the whole
+//!   stop-the-world window, so a segment is always swept exactly once, by
+//!   exactly one party.
 //!
 //! Invariants callers must maintain (see DESIGN.md §4):
 //! 1. never poll / allocate / enter a safe region while holding an object or
@@ -26,18 +41,23 @@
 //! 2. every value held across a potential GC point is reachable from the
 //!    thread's [`RootSource`];
 //! 3. the closure run inside [`Heap::safe_region`] must not mutate the
-//!    thread's published roots.
+//!    thread's published roots and must not allocate — the collector may be
+//!    sweeping this mutator's segment while the closure runs.
 
 use crate::env::FrameRef;
 use crate::value::{GcBox, GcRef, Object, Value};
 use parking_lot::{Condvar, Mutex};
+use std::cell::{Cell, UnsafeCell};
 use std::collections::HashMap;
+use std::mem::MaybeUninit;
 use std::ptr::NonNull;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Ceiling conversion so any nonzero pause registers as at least 1µs.
+/// Ceiling conversion so any nonzero duration registers as at least 1µs.
+/// Applied exactly once, at the reporting edge — internal accounting stays
+/// in nanoseconds so many sub-microsecond pauses don't each round up.
 fn ns_to_us_ceil(ns: u64) -> u64 {
     ns.div_ceil(1000)
 }
@@ -52,6 +72,10 @@ pub struct HeapConfig {
     /// Collect on *every* allocation — a torture mode used by tests to
     /// surface missing-root bugs immediately.
     pub stress: bool,
+    /// Cap on parallel mark workers; 0 means "one per core". The effective
+    /// worker count is further limited by the number of registered
+    /// mutators (`min(mutators, cores)`).
+    pub gc_threads: usize,
 }
 
 impl Default for HeapConfig {
@@ -60,6 +84,7 @@ impl Default for HeapConfig {
             initial_threshold: 1 << 20, // 1 MiB
             min_threshold: 1 << 16,
             stress: false,
+            gc_threads: 0,
         }
     }
 }
@@ -72,11 +97,25 @@ pub struct GcStats {
     pub objects_freed: u64,
     pub live_objects: u64,
     pub live_bytes: u64,
-    /// Total stop-the-world pause time, microseconds (rounded up so any
-    /// real collection registers as at least 1µs).
+    /// Total stop-the-world pause time, microseconds. Accumulated in
+    /// nanoseconds and converted once here, so many tiny pauses are not
+    /// each rounded up before summing.
     pub pause_total_us: u64,
-    /// Longest single pause, microseconds (rounded up likewise).
+    /// Longest single pause, microseconds (rounded up so any real
+    /// collection registers as at least 1µs).
     pub pause_max_us: u64,
+    /// Total mark-phase time across collections, microseconds (converted
+    /// from nanoseconds once, like `pause_total_us`).
+    pub mark_us: u64,
+    /// Total sweep-phase time across collections, microseconds.
+    pub sweep_us: u64,
+    /// Allocations served straight from a segment's free list, with no
+    /// chunk growth and no global lock.
+    pub alloc_fast_path: u64,
+    /// Allocations that had to grow their segment by one chunk first.
+    pub segment_refills: u64,
+    /// Largest number of mark workers used by any single collection.
+    pub mark_workers: u64,
 }
 
 /// Sink filled by a [`RootSource`]: direct values plus shared frames that
@@ -126,12 +165,151 @@ impl RootSource for WithPending<'_> {
     }
 }
 
-#[derive(Default)]
+// ---- allocation segments ---------------------------------------------------
+
+/// Slots per chunk; one `u64` occupancy bitmap covers a whole chunk.
+const SLOTS_PER_CHUNK: usize = 64;
+
+/// A fixed block of `GcBox` slots. The slot storage is boxed, so slot
+/// addresses stay stable while the owning segment's chunk vector grows —
+/// `GcRef`s point straight into it.
+struct Chunk {
+    /// Bit i set ⇔ slot i holds an initialized, not-yet-swept object.
+    occupied: u64,
+    slots: Box<[MaybeUninit<GcBox>]>,
+}
+
+impl Chunk {
+    fn new() -> Chunk {
+        let mut slots = Vec::with_capacity(SLOTS_PER_CHUNK);
+        slots.resize_with(SLOTS_PER_CHUNK, MaybeUninit::uninit);
+        Chunk { occupied: 0, slots: slots.into_boxed_slice() }
+    }
+}
+
+impl Drop for Chunk {
+    fn drop(&mut self) {
+        for i in 0..SLOTS_PER_CHUNK {
+            if self.occupied & (1 << i) != 0 {
+                // SAFETY: the bit says this slot was initialized and has not
+                // been swept; the heap is going away (or the chunk is empty,
+                // in which case this loop body never runs).
+                unsafe { self.slots[i].assume_init_drop() };
+            }
+        }
+    }
+}
+
+/// One mutator's private allocation arena: a vector of chunks plus a free
+/// list of `(chunk, slot)` coordinates. Only the owning mutator touches it
+/// between collections; the collector touches it only while the world is
+/// stopped.
+struct Segment {
+    chunks: Vec<Chunk>,
+    free: Vec<(u32, u32)>,
+}
+
+impl Segment {
+    fn new() -> Segment {
+        Segment { chunks: Vec::new(), free: Vec::new() }
+    }
+
+    /// Place `gc_box` into a free slot, growing by one chunk if the free
+    /// list is empty. Returns the slot address and whether a refill (chunk
+    /// growth) was needed.
+    fn alloc(&mut self, gc_box: GcBox) -> (NonNull<GcBox>, bool) {
+        let refilled = self.free.is_empty();
+        if refilled {
+            let chunk_idx = self.chunks.len() as u32;
+            self.chunks.push(Chunk::new());
+            for slot in (0..SLOTS_PER_CHUNK as u32).rev() {
+                self.free.push((chunk_idx, slot));
+            }
+        }
+        let (c, s) = self.free.pop().expect("refilled free list cannot be empty");
+        let chunk = &mut self.chunks[c as usize];
+        chunk.occupied |= 1 << s;
+        let slot = chunk.slots[s as usize].write(gc_box);
+        (NonNull::from(slot), refilled)
+    }
+
+    /// Drop every unmarked object, clear surviving marks, release chunks
+    /// that became fully empty, and rebuild the free list. When `census` is
+    /// provided, survivors are tallied per allocation site for the heap
+    /// profiler. Returns `(objects freed, bytes freed)`.
+    fn sweep(&mut self, mut census: Option<&mut HashMap<u64, (u64, u64)>>) -> (u64, usize) {
+        let mut freed = 0u64;
+        let mut freed_bytes = 0usize;
+        for chunk in &mut self.chunks {
+            let mut occ = chunk.occupied;
+            while occ != 0 {
+                let s = occ.trailing_zeros() as usize;
+                occ &= occ - 1;
+                // SAFETY: occupancy bit set ⇒ slot initialized.
+                let gc_box = unsafe { chunk.slots[s].assume_init_ref() };
+                if gc_box.mark.swap(false, Ordering::Relaxed) {
+                    if let Some(census) = census.as_deref_mut() {
+                        if gc_box.site != 0 {
+                            let entry = census.entry(gc_box.site).or_insert((0, 0));
+                            entry.0 += 1;
+                            entry.1 += gc_box.size as u64;
+                        }
+                    }
+                } else {
+                    freed += 1;
+                    freed_bytes += gc_box.size;
+                    chunk.occupied &= !(1 << s);
+                    // SAFETY: unreachable (no roots found it), so nothing
+                    // can dereference it after this point.
+                    unsafe { chunk.slots[s].assume_init_drop() };
+                }
+            }
+        }
+        // Release empty chunks but keep one as hysteresis: a segment whose
+        // whole population died would otherwise pay a refill on its very
+        // next allocation (pathological under gc_stress, where that is
+        // every allocation).
+        let mut kept_empty = false;
+        self.chunks.retain(|c| c.occupied != 0 || !std::mem::replace(&mut kept_empty, true));
+        self.free.clear();
+        for (ci, chunk) in self.chunks.iter().enumerate() {
+            let mut open = !chunk.occupied;
+            while open != 0 {
+                let s = open.trailing_zeros();
+                open &= open - 1;
+                self.free.push((ci as u32, s));
+            }
+        }
+        (freed, freed_bytes)
+    }
+}
+
+/// Shared handle to one segment. The owning mutator reaches it through its
+/// [`MutatorGuard`]; the collector reaches the same segment through the
+/// mutator's control slot (or the orphan pool) during stop-the-world.
+struct SegmentCell(UnsafeCell<Segment>);
+
+// SAFETY: access is externally synchronized by the safepoint protocol — the
+// owner has exclusive access while running; the collector has exclusive
+// access while every owner is parked or blocked in a (non-allocating) safe
+// region. See the module docs and DESIGN.md §4.
+unsafe impl Send for SegmentCell {}
+unsafe impl Sync for SegmentCell {}
+
+type SegmentRef = Arc<SegmentCell>;
+
+fn new_segment_ref() -> SegmentRef {
+    Arc::new(SegmentCell(UnsafeCell::new(Segment::new())))
+}
+
+// ---- collector control -----------------------------------------------------
+
 struct Slot {
     parked: bool,
     safe_region: bool,
     values: Vec<Value>,
     frames: Vec<FrameRef>,
+    segment: SegmentRef,
 }
 
 #[derive(Default)]
@@ -140,15 +318,81 @@ struct Ctrl {
     epoch: u64,
     next_id: u32,
     slots: HashMap<u32, Slot>,
+    /// Segments of exited mutators. Their objects may still be live (a
+    /// parent can hold results a child allocated), so they are swept with
+    /// everything else and reissued to new mutators.
+    pool: Vec<SegmentRef>,
+}
+
+/// Batch size for the parallel-mark work queue; workers donate this many
+/// values back whenever their local stack doubles it.
+const MARK_BATCH: usize = 256;
+
+/// Root sets smaller than this are marked sequentially — spawning workers
+/// costs more than the marking itself.
+const PAR_MARK_MIN_ROOTS: usize = 64;
+
+struct MarkQueueState {
+    batches: Vec<Vec<Value>>,
+    /// Workers currently processing a batch (may still donate more).
+    active: usize,
+}
+
+/// Shared work queue for parallel marking. Termination: a worker exits when
+/// the queue is empty *and* no worker is mid-batch (nobody can donate more).
+struct MarkQueue {
+    state: Mutex<MarkQueueState>,
+    cv: Condvar,
+}
+
+impl MarkQueue {
+    fn run_worker(&self) {
+        loop {
+            let batch = {
+                let mut st = self.state.lock();
+                loop {
+                    if let Some(b) = st.batches.pop() {
+                        st.active += 1;
+                        break b;
+                    }
+                    if st.active == 0 {
+                        return;
+                    }
+                    self.cv.wait(&mut st);
+                }
+            };
+            let mut local = batch;
+            while let Some(v) = local.pop() {
+                if let Value::Obj(r) = v {
+                    // Atomic swap: exactly one worker wins each object.
+                    if !r.set_mark(true) {
+                        r.object().trace_children(&mut |child| local.push(child));
+                        if local.len() >= 2 * MARK_BATCH {
+                            let donated = local.split_off(local.len() - MARK_BATCH);
+                            let mut st = self.state.lock();
+                            st.batches.push(donated);
+                            self.cv.notify_one();
+                        }
+                    }
+                }
+            }
+            let mut st = self.state.lock();
+            st.active -= 1;
+            if st.active == 0 && st.batches.is_empty() {
+                self.cv.notify_all();
+            }
+        }
+    }
 }
 
 /// The shared garbage-collected heap.
 pub struct Heap {
-    objects: Mutex<Vec<NonNull<GcBox>>>,
     bytes: AtomicUsize,
     threshold: AtomicUsize,
     stress: AtomicBool,
     min_threshold: usize,
+    /// `HeapConfig::gc_threads`: cap on parallel mark workers (0 = cores).
+    gc_threads: usize,
     gc_flag: AtomicBool,
     ctrl: Mutex<Ctrl>,
     /// Collector waits here for mutators to park.
@@ -158,23 +402,25 @@ pub struct Heap {
     allocations: AtomicU64,
     collections: AtomicU64,
     objects_freed: AtomicU64,
+    /// Allocations that grew their segment by a chunk; the fast-path count
+    /// is derived as `allocations - segment_refills`.
+    segment_refills: AtomicU64,
+    /// Max mark workers used by any single collection.
+    mark_workers: AtomicU64,
     pause_ns_total: AtomicU64,
     pause_ns_max: AtomicU64,
+    mark_ns_total: AtomicU64,
+    sweep_ns_total: AtomicU64,
 }
-
-// SAFETY: the raw pointers in `objects` are only dereferenced under the
-// documented STW protocol; GcBox payloads are Sync (see value.rs).
-unsafe impl Send for Heap {}
-unsafe impl Sync for Heap {}
 
 impl Heap {
     pub fn new(config: HeapConfig) -> Arc<Heap> {
         Arc::new(Heap {
-            objects: Mutex::new(Vec::new()),
             bytes: AtomicUsize::new(0),
             threshold: AtomicUsize::new(config.initial_threshold.max(config.min_threshold)),
             stress: AtomicBool::new(config.stress),
             min_threshold: config.min_threshold,
+            gc_threads: config.gc_threads,
             gc_flag: AtomicBool::new(false),
             ctrl: Mutex::new(Ctrl::default()),
             cv_mutators: Condvar::new(),
@@ -182,14 +428,26 @@ impl Heap {
             allocations: AtomicU64::new(0),
             collections: AtomicU64::new(0),
             objects_freed: AtomicU64::new(0),
+            segment_refills: AtomicU64::new(0),
+            mark_workers: AtomicU64::new(0),
             pause_ns_total: AtomicU64::new(0),
             pause_ns_max: AtomicU64::new(0),
+            mark_ns_total: AtomicU64::new(0),
+            sweep_ns_total: AtomicU64::new(0),
         })
     }
 
     /// Turn allocation-stress collection on or off at runtime.
     pub fn set_stress(&self, on: bool) {
         self.stress.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether a stop-the-world collection has been requested. Cheap enough
+    /// for per-statement callers that want to flag their state (e.g. the
+    /// debugger's thread pane) before committing to [`Heap::poll`].
+    #[inline]
+    pub fn gc_pending(&self) -> bool {
+        self.gc_flag.load(Ordering::Acquire)
     }
 
     /// Register the calling execution thread as a mutator. The world cannot
@@ -199,8 +457,18 @@ impl Heap {
         let mut ctrl = self.ctrl.lock();
         let id = ctrl.next_id;
         ctrl.next_id += 1;
-        ctrl.slots.insert(id, Slot::default());
-        MutatorGuard { heap: Arc::clone(self), id }
+        let segment = ctrl.pool.pop().unwrap_or_else(new_segment_ref);
+        ctrl.slots.insert(
+            id,
+            Slot {
+                parked: false,
+                safe_region: false,
+                values: Vec::new(),
+                frames: Vec::new(),
+                segment: Arc::clone(&segment),
+            },
+        );
+        MutatorGuard { heap: Arc::clone(self), id, segment, in_safe_region: Cell::new(false) }
     }
 
     /// Register a mutator on behalf of a thread that is about to be spawned.
@@ -212,17 +480,29 @@ impl Heap {
         let mut ctrl = self.ctrl.lock();
         let id = ctrl.next_id;
         ctrl.next_id += 1;
+        let segment = ctrl.pool.pop().unwrap_or_else(new_segment_ref);
         ctrl.slots.insert(
             id,
-            Slot { parked: false, safe_region: true, values: sink.values, frames: sink.frames },
+            Slot {
+                parked: false,
+                safe_region: true,
+                values: sink.values,
+                frames: sink.frames,
+                segment: Arc::clone(&segment),
+            },
         );
-        MutatorGuard { heap: Arc::clone(self), id }
+        MutatorGuard { heap: Arc::clone(self), id, segment, in_safe_region: Cell::new(false) }
     }
 
     /// Called by a freshly spawned thread whose mutator was created with
     /// [`Heap::register_spawned`]: leaves the initial safe-region state
     /// (waiting out any in-progress collection first) so the thread's roots
     /// are tracked live from here on.
+    ///
+    /// If the guard is dropped *without* the thread ever starting (spawn
+    /// failure), [`MutatorGuard::drop`] deregisters the still-safe-region
+    /// slot instead; either way the coordinator never waits on a mutator
+    /// that will not arrive.
     pub fn exit_spawn_region(&self, m: &MutatorGuard) {
         let mut ctrl = self.ctrl.lock();
         while ctrl.gc_requested {
@@ -243,9 +523,12 @@ impl Heap {
         }
     }
 
-    /// Allocate an object, possibly running a collection first.
+    /// Allocate an object, possibly running a collection first. The
+    /// placement itself is lock-free with respect to other mutators: the
+    /// object goes into this mutator's private segment.
     pub fn alloc(&self, m: &MutatorGuard, roots: &dyn RootSource, obj: Object) -> GcRef {
         debug_assert_eq!(m.heap_ptr(), self as *const _, "mutator belongs to another heap");
+        debug_assert!(!m.in_safe_region.get(), "allocation inside a safe region");
         self.allocations.fetch_add(1, Ordering::Relaxed);
         let size = obj.size_estimate();
         let stressed = self.stress.load(Ordering::Relaxed);
@@ -260,13 +543,21 @@ impl Heap {
             let with_pending = WithPending { inner: roots, pending: &obj };
             self.park(m, &with_pending);
         }
+        // From here to the end of the function the collector cannot run:
+        // this mutator is neither parked nor in a safe region, so any
+        // newly-requested collection waits for our next safepoint.
+        //
         // Attribute the allocation to the mutator's current (call path,
         // line) site; returns 0 (recording nothing) when heap profiling
         // is off.
         let site = tetra_obs::heapprof::record_alloc(size);
-        let boxed = Box::new(GcBox { mark: AtomicBool::new(false), size, site, obj });
-        let ptr = NonNull::from(Box::leak(boxed));
-        self.objects.lock().push(ptr);
+        let gc_box = GcBox { mark: AtomicBool::new(false), size, site, obj };
+        // SAFETY: owner access outside a collection (see SegmentCell).
+        let segment = unsafe { &mut *m.segment.0.get() };
+        let (ptr, refilled) = segment.alloc(gc_box);
+        if refilled {
+            self.segment_refills.fetch_add(1, Ordering::Relaxed);
+        }
         self.bytes.fetch_add(size, Ordering::Relaxed);
         GcRef { ptr }
     }
@@ -292,7 +583,9 @@ impl Heap {
     }
 
     /// Run a blocking operation inside a GC safe region: the thread's roots
-    /// are published first so collections proceed while `f` blocks.
+    /// are published first so collections proceed while `f` blocks. `f`
+    /// must not allocate or mutate the published roots (the collector may
+    /// be sweeping this mutator's segment concurrently).
     pub fn safe_region<T>(
         &self,
         m: &MutatorGuard,
@@ -310,7 +603,9 @@ impl Heap {
             // A collector may be waiting for this thread to stop running.
             self.cv_mutators.notify_all();
         }
+        m.in_safe_region.set(true);
         let result = f();
+        m.in_safe_region.set(false);
         let mut ctrl = self.ctrl.lock();
         while ctrl.gc_requested {
             self.cv_resume.wait(&mut ctrl);
@@ -329,15 +624,37 @@ impl Heap {
     }
 
     pub fn stats(&self) -> GcStats {
+        let allocations = self.allocations.load(Ordering::Relaxed);
+        let objects_freed = self.objects_freed.load(Ordering::Relaxed);
+        let segment_refills = self.segment_refills.load(Ordering::Relaxed);
         GcStats {
-            allocations: self.allocations.load(Ordering::Relaxed),
+            allocations,
             collections: self.collections.load(Ordering::Relaxed),
-            objects_freed: self.objects_freed.load(Ordering::Relaxed),
-            live_objects: self.objects.lock().len() as u64,
+            objects_freed,
+            live_objects: allocations.saturating_sub(objects_freed),
             live_bytes: self.bytes.load(Ordering::Relaxed) as u64,
             pause_total_us: ns_to_us_ceil(self.pause_ns_total.load(Ordering::Relaxed)),
             pause_max_us: ns_to_us_ceil(self.pause_ns_max.load(Ordering::Relaxed)),
+            mark_us: ns_to_us_ceil(self.mark_ns_total.load(Ordering::Relaxed)),
+            sweep_us: ns_to_us_ceil(self.sweep_ns_total.load(Ordering::Relaxed)),
+            alloc_fast_path: allocations.saturating_sub(segment_refills),
+            segment_refills,
+            mark_workers: self.mark_workers.load(Ordering::Relaxed),
         }
+    }
+
+    /// Flush allocator/collector counters into the tetra-obs metrics
+    /// registry (no-op without an active metrics session). Called once at
+    /// the end of a run — the registry's global lock must never sit on the
+    /// allocation hot path.
+    pub fn publish_metrics(&self) {
+        if !tetra_obs::metrics_enabled() {
+            return;
+        }
+        let s = self.stats();
+        tetra_obs::metrics::counter_add("gc.alloc_fast_path", s.alloc_fast_path);
+        tetra_obs::metrics::counter_add("gc.segment_refills", s.segment_refills);
+        tetra_obs::metrics::counter_add("gc.mark_workers", s.mark_workers);
     }
 
     // ---- internals ---------------------------------------------------------
@@ -369,8 +686,27 @@ impl Heap {
         }
     }
 
+    /// Record one stop-the-world pause. Totals accumulate in nanoseconds;
+    /// `stats()` converts to µs exactly once, so a thousand 200ns pauses
+    /// report as 200µs, not 1000µs.
+    fn record_pause_ns(&self, pause_ns: u64) {
+        self.pause_ns_total.fetch_add(pause_ns, Ordering::Relaxed);
+        self.pause_ns_max.fetch_max(pause_ns, Ordering::Relaxed);
+    }
+
+    /// Decide how many mark workers a collection should use.
+    fn plan_mark_workers(&self, mutators: usize, root_count: usize) -> usize {
+        if root_count < PAR_MARK_MIN_ROOTS {
+            return 1;
+        }
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let cap = if self.gc_threads > 0 { self.gc_threads } else { cores };
+        mutators.min(cap).max(1)
+    }
+
     /// Become the collector (or park if someone else already is).
     fn collect(&self, m: &MutatorGuard, roots: &dyn RootSource) {
+        debug_assert!(!m.in_safe_region.get(), "collection triggered inside a safe region");
         let mut sink = RootSink::default();
         roots.roots(&mut sink);
         let mut ctrl = self.ctrl.lock();
@@ -408,64 +744,88 @@ impl Heap {
             slot.frames = sink.frames;
         }
         // Wait for every other mutator to park or block in a safe region.
+        // The ctrl lock is released only inside this wait: a mutator that
+        // deregisters here hands its segment to the pool and wakes us; from
+        // the moment the predicate holds until resume, the slot/pool
+        // picture is frozen (we hold the lock throughout mark and sweep).
         let obs_stw = tetra_obs::now_ns();
         while ctrl.slots.iter().any(|(id, s)| *id != m.id && !s.parked && !s.safe_region) {
             self.cv_mutators.wait(&mut ctrl);
         }
-        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::StwWait, collection, obs_stw);
+        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::StwWait, collection, obs_stw, 0);
 
         // ---- world is stopped: mark ----
+        let mark_start = Instant::now();
         let obs_mark = tetra_obs::now_ns();
-        let mut worklist: Vec<Value> = Vec::new();
+        let mut root_values: Vec<Value> = Vec::new();
         let mut seen_frames = std::collections::HashSet::new();
         for slot in ctrl.slots.values() {
-            worklist.extend_from_slice(&slot.values);
+            root_values.extend_from_slice(&slot.values);
             for f in &slot.frames {
                 if seen_frames.insert(Arc::as_ptr(f) as usize) {
-                    f.trace(&mut |v| worklist.push(v));
+                    f.trace(&mut |v| root_values.push(v));
                 }
             }
         }
-        while let Some(v) = worklist.pop() {
-            if let Value::Obj(r) = v {
-                if !r.set_mark(true) {
-                    r.object().trace_children(&mut |child| worklist.push(child));
+        let workers = self.plan_mark_workers(ctrl.slots.len(), root_values.len());
+        if workers <= 1 {
+            let mut worklist = root_values;
+            while let Some(v) = worklist.pop() {
+                if let Value::Obj(r) = v {
+                    if !r.set_mark(true) {
+                        r.object().trace_children(&mut |child| worklist.push(child));
+                    }
                 }
             }
+        } else {
+            let batches: Vec<Vec<Value>> =
+                root_values.chunks(MARK_BATCH).map(|c| c.to_vec()).collect();
+            let queue = MarkQueue {
+                state: Mutex::new(MarkQueueState { batches, active: 0 }),
+                cv: Condvar::new(),
+            };
+            std::thread::scope(|scope| {
+                for _ in 1..workers {
+                    scope.spawn(|| queue.run_worker());
+                }
+                // The coordinator is stopped anyway: put it to work too.
+                queue.run_worker();
+            });
         }
+        self.mark_workers.fetch_max(workers as u64, Ordering::Relaxed);
+        let mark_ns = mark_start.elapsed().as_nanos() as u64;
+        self.mark_ns_total.fetch_add(mark_ns, Ordering::Relaxed);
+        tetra_obs::gc_phase(
+            tetra_obs::GC_TID,
+            tetra_obs::GcPhase::Mark,
+            collection,
+            obs_mark,
+            workers as u32,
+        );
 
-        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::Mark, collection, obs_mark);
-
-        // ---- sweep ----
+        // ---- sweep, one segment at a time ----
+        let sweep_start = Instant::now();
         let obs_sweep = tetra_obs::now_ns();
-        let mut freed = 0u64;
-        let mut freed_bytes = 0usize;
         // Live-after-GC census per allocation site, taken while the sweep
         // already walks every object. Only populated under --heap-profile.
         let profiling = tetra_obs::heap_profile_enabled();
-        let mut census: std::collections::HashMap<u64, (u64, u64)> =
-            std::collections::HashMap::new();
-        {
-            let mut objects = self.objects.lock();
-            objects.retain(|ptr| {
-                // SAFETY: pointers in the list are live boxes we created.
-                let gc_box = unsafe { ptr.as_ref() };
-                if gc_box.mark.swap(false, Ordering::Relaxed) {
-                    if profiling && gc_box.site != 0 {
-                        let entry = census.entry(gc_box.site).or_insert((0, 0));
-                        entry.0 += 1;
-                        entry.1 += gc_box.size as u64;
-                    }
-                    true
-                } else {
-                    freed += 1;
-                    freed_bytes += gc_box.size;
-                    // SAFETY: unreachable (no roots found it), so nothing can
-                    // dereference it after this point.
-                    drop(unsafe { Box::from_raw(ptr.as_ptr()) });
-                    false
-                }
-            });
+        let mut census: HashMap<u64, (u64, u64)> = HashMap::new();
+        let segments: Vec<SegmentRef> = ctrl
+            .slots
+            .values()
+            .map(|s| Arc::clone(&s.segment))
+            .chain(ctrl.pool.iter().cloned())
+            .collect();
+        let mut freed = 0u64;
+        let mut freed_bytes = 0usize;
+        let segments_swept = segments.len() as u32;
+        for cell in &segments {
+            // SAFETY: every owner is parked or in a safe region and we hold
+            // the ctrl lock, so the collector has exclusive segment access.
+            let segment = unsafe { &mut *cell.0.get() };
+            let (f, fb) = segment.sweep(if profiling { Some(&mut census) } else { None });
+            freed += f;
+            freed_bytes += fb;
         }
         if profiling {
             tetra_obs::heapprof::record_census(&census);
@@ -474,11 +834,17 @@ impl Heap {
         self.threshold.store((live * 2).max(self.min_threshold), Ordering::Relaxed);
         self.objects_freed.fetch_add(freed, Ordering::Relaxed);
         self.collections.fetch_add(1, Ordering::Relaxed);
-        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::Sweep, collection, obs_sweep);
-        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::Pause, collection, obs_pause);
-        let pause_ns = pause_start.elapsed().as_nanos() as u64;
-        self.pause_ns_total.fetch_add(pause_ns, Ordering::Relaxed);
-        self.pause_ns_max.fetch_max(pause_ns, Ordering::Relaxed);
+        let sweep_ns = sweep_start.elapsed().as_nanos() as u64;
+        self.sweep_ns_total.fetch_add(sweep_ns, Ordering::Relaxed);
+        tetra_obs::gc_phase(
+            tetra_obs::GC_TID,
+            tetra_obs::GcPhase::Sweep,
+            collection,
+            obs_sweep,
+            segments_swept,
+        );
+        tetra_obs::gc_phase(tetra_obs::GC_TID, tetra_obs::GcPhase::Pause, collection, obs_pause, 0);
+        self.record_pause_ns(pause_start.elapsed().as_nanos() as u64);
 
         // ---- resume the world ----
         ctrl.gc_requested = false;
@@ -494,29 +860,33 @@ impl Heap {
 
     fn deregister(&self, id: u32) {
         let mut ctrl = self.ctrl.lock();
-        ctrl.slots.remove(&id);
-        // A collector may be waiting on this mutator to park.
+        if let Some(slot) = ctrl.slots.remove(&id) {
+            // Hand the segment to the pool under the same lock acquisition
+            // that removes the slot: a collector observing the slot map also
+            // observes the pool, so the segment is swept exactly once.
+            ctrl.pool.push(slot.segment);
+        }
+        // A collector may be waiting on this mutator to park; removing the
+        // slot satisfies its predicate, so wake it. (This is what makes
+        // exiting while `gc_flag` is raised safe: the coordinator re-checks
+        // the slot map and stops waiting on the departed mutator.)
         self.cv_mutators.notify_all();
     }
 }
 
-impl Drop for Heap {
-    fn drop(&mut self) {
-        // Free every remaining object; no mutators can exist at this point
-        // because MutatorGuard holds an Arc<Heap>.
-        let objects = self.objects.get_mut();
-        for ptr in objects.drain(..) {
-            // SAFETY: sole owner now.
-            drop(unsafe { Box::from_raw(ptr.as_ptr()) });
-        }
-    }
-}
-
 /// Registration handle for one mutator thread. Dropping it deregisters the
-/// thread, allowing collections to proceed without it.
+/// thread, allowing collections to proceed without it, and returns its
+/// allocation segment to the heap's pool.
 pub struct MutatorGuard {
     heap: Arc<Heap>,
     id: u32,
+    /// This mutator's private allocation segment (shared with the control
+    /// slot so the collector can sweep it during stop-the-world).
+    segment: SegmentRef,
+    /// Debug guard for invariant 3: allocation inside a safe region would
+    /// race the collector. `Cell` also keeps the guard `!Sync`, pinning all
+    /// segment access to the owning thread.
+    in_safe_region: Cell<bool>,
 }
 
 impl MutatorGuard {
@@ -542,7 +912,12 @@ mod tests {
     use crate::env::Frame;
 
     fn test_heap(stress: bool) -> Arc<Heap> {
-        Heap::new(HeapConfig { initial_threshold: 1 << 14, min_threshold: 1 << 10, stress })
+        Heap::new(HeapConfig {
+            initial_threshold: 1 << 14,
+            min_threshold: 1 << 10,
+            stress,
+            ..HeapConfig::default()
+        })
     }
 
     struct VecRoots(Vec<Value>);
@@ -664,8 +1039,11 @@ mod tests {
 
     #[test]
     fn threshold_triggers_automatic_collection() {
-        let heap =
-            Heap::new(HeapConfig { initial_threshold: 4096, min_threshold: 1024, stress: false });
+        let heap = Heap::new(HeapConfig {
+            initial_threshold: 4096,
+            min_threshold: 1024,
+            ..HeapConfig::default()
+        });
         let m = heap.register_mutator();
         for i in 0..1000 {
             let _ = heap.alloc_str(&m, &NoRoots, format!("string number {i} with padding"));
@@ -762,5 +1140,140 @@ mod tests {
         assert_eq!(s.allocations, 10);
         assert_eq!(s.objects_freed, 10);
         assert_eq!(s.live_bytes, 0);
+    }
+
+    #[test]
+    fn fast_path_and_refill_counters_add_up() {
+        let heap = test_heap(false);
+        let m = heap.register_mutator();
+        for i in 0..100 {
+            let _ = heap.alloc_str(&m, &NoRoots, format!("v{i}"));
+        }
+        let s = heap.stats();
+        // 100 allocations into 64-slot chunks: exactly two chunk refills,
+        // everything else straight off the free list with no global lock.
+        assert_eq!(s.allocations, 100);
+        assert_eq!(s.segment_refills, 2);
+        assert_eq!(s.alloc_fast_path, 98);
+        assert_eq!(s.alloc_fast_path + s.segment_refills, s.allocations);
+    }
+
+    #[test]
+    fn orphaned_segments_are_swept_and_reused() {
+        let heap = test_heap(false);
+        let parent = heap.register_mutator();
+        {
+            let child = heap.register_mutator();
+            for i in 0..10 {
+                let _ = heap.alloc_str(&child, &NoRoots, format!("orphan {i}"));
+            }
+        }
+        // The child's segment now sits in the pool with 10 unreachable
+        // objects; a collection must still find and free them.
+        heap.collect_now(&parent, &NoRoots);
+        let s = heap.stats();
+        assert_eq!(s.objects_freed, 10);
+        assert_eq!(s.live_objects, 0);
+        // A new mutator takes the pooled segment back over.
+        let reused = heap.register_mutator();
+        let v = heap.alloc_str(&reused, &NoRoots, "recycled");
+        assert_eq!(v.as_str(), Some("recycled"));
+    }
+
+    #[test]
+    fn parallel_mark_uses_multiple_workers() {
+        // Three spawned-state mutators (safe region, roots published) plus
+        // the coordinator: with gc_threads = 4 and enough roots, the plan
+        // must come out > 1 worker, and nothing may be lost.
+        let heap = Heap::new(HeapConfig {
+            initial_threshold: 1 << 20,
+            min_threshold: 1 << 10,
+            stress: false,
+            gc_threads: 4,
+        });
+        let m = heap.register_mutator();
+        let mut all = Vec::new();
+        for i in 0..300 {
+            let v = heap.alloc_array(
+                &m,
+                &VecRoots(all.clone()),
+                vec![Value::Int(i), Value::Int(i * 2)],
+            );
+            all.push(v);
+        }
+        let third = all.len() / 3;
+        let g1 = heap.register_spawned(&VecRoots(all[..third].to_vec()));
+        let g2 = heap.register_spawned(&VecRoots(all[third..2 * third].to_vec()));
+        let g3 = heap.register_spawned(&VecRoots(all[2 * third..].to_vec()));
+        heap.collect_now(&m, &NoRoots);
+        let s = heap.stats();
+        assert_eq!(s.live_objects, 300, "parallel mark lost objects");
+        assert_eq!(s.mark_workers, 4);
+        for (i, v) in all.iter().enumerate() {
+            if let Object::Array(items) = v.as_obj().unwrap().object() {
+                assert!(matches!(items.lock()[0], Value::Int(n) if n == i as i64));
+            } else {
+                panic!("expected array");
+            }
+        }
+        drop((g1, g2, g3));
+    }
+
+    #[test]
+    fn small_root_sets_mark_sequentially() {
+        let heap = Heap::new(HeapConfig { gc_threads: 4, ..HeapConfig::default() });
+        let m = heap.register_mutator();
+        let v = heap.alloc_str(&m, &NoRoots, "lone root");
+        heap.collect_now(&m, &VecRoots(vec![v]));
+        // Below PAR_MARK_MIN_ROOTS the plan stays at one worker.
+        assert_eq!(heap.stats().mark_workers, 1);
+        assert_eq!(v.as_str(), Some("lone root"));
+    }
+
+    #[test]
+    fn pause_totals_accumulate_in_nanoseconds() {
+        let heap = test_heap(false);
+        // Ten 500ns pauses: summed first (5000ns), converted once → 5µs.
+        // Per-pause ceiling would have reported 10µs.
+        for _ in 0..10 {
+            heap.record_pause_ns(500);
+        }
+        let s = heap.stats();
+        assert_eq!(s.pause_total_us, 5);
+        // The max still rounds a nonzero pause up to a full microsecond.
+        assert_eq!(s.pause_max_us, 1);
+    }
+
+    #[test]
+    fn spawn_exit_under_stress_regression() {
+        // Mutators that register and exit while collections fire on every
+        // allocation: the coordinator must never wait on a departed mutator
+        // and every orphaned segment must be swept exactly once. This loops
+        // the guard through both registration flavors.
+        let heap = test_heap(true);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let heap = Arc::clone(&heap);
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        if i % 2 == 0 {
+                            let m = heap.register_mutator();
+                            let _ = heap.alloc_str(&m, &NoRoots, format!("t{t} i{i}"));
+                            // Guard drops here, mid-traffic, possibly while
+                            // another thread's gc_flag is raised.
+                        } else {
+                            let m = heap.register_spawned(&NoRoots);
+                            heap.exit_spawn_region(&m);
+                            let _ = heap.alloc_str(&m, &NoRoots, format!("t{t} i{i}"));
+                        }
+                    }
+                });
+            }
+        });
+        let m = heap.register_mutator();
+        heap.collect_now(&m, &NoRoots);
+        let s = heap.stats();
+        assert_eq!(s.allocations, 200);
+        assert_eq!(s.live_objects, 0, "an orphaned segment was not swept");
     }
 }

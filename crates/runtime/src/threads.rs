@@ -46,6 +46,10 @@ pub enum ThreadState {
     WaitingInput,
     /// Paused by the debugger.
     Paused,
+    /// Parked at a GC safepoint while a stop-the-world collection runs.
+    /// The cell stays readable throughout (states are atomics), so the
+    /// debugger's thread pane renders mid-collection without blocking.
+    GcParked,
     Finished,
 }
 
@@ -57,6 +61,7 @@ impl ThreadState {
             2 => ThreadState::Joining,
             3 => ThreadState::WaitingInput,
             4 => ThreadState::Paused,
+            6 => ThreadState::GcParked,
             _ => ThreadState::Finished,
         }
     }
@@ -69,6 +74,7 @@ impl ThreadState {
             ThreadState::WaitingInput => 3,
             ThreadState::Paused => 4,
             ThreadState::Finished => 5,
+            ThreadState::GcParked => 6,
         }
     }
 
@@ -79,6 +85,7 @@ impl ThreadState {
             ThreadState::Joining => "joining children",
             ThreadState::WaitingInput => "waiting for input",
             ThreadState::Paused => "paused",
+            ThreadState::GcParked => "parked for gc",
             ThreadState::Finished => "finished",
         }
     }
@@ -231,6 +238,7 @@ mod tests {
             ThreadState::Joining,
             ThreadState::WaitingInput,
             ThreadState::Paused,
+            ThreadState::GcParked,
             ThreadState::Finished,
         ] {
             t.set_state(s);

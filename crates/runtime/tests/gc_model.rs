@@ -99,7 +99,12 @@ fn check(values: &[Value], models: &[Model]) {
 }
 
 fn run_ops(ops: &[Op], stress: bool) {
-    let heap = Heap::new(HeapConfig { initial_threshold: 1 << 12, min_threshold: 1 << 10, stress });
+    let heap = Heap::new(HeapConfig {
+        initial_threshold: 1 << 12,
+        min_threshold: 1 << 10,
+        stress,
+        ..HeapConfig::default()
+    });
     let m = heap.register_mutator();
     let mut values: Vec<Value> = Vec::new();
     let mut models: Vec<Model> = Vec::new();
@@ -209,8 +214,11 @@ fn model_smoke() {
 /// are nonzero whenever `collections` is.
 #[test]
 fn collections_record_pause_times() {
-    let heap =
-        Heap::new(HeapConfig { initial_threshold: 1 << 12, min_threshold: 1 << 10, stress: false });
+    let heap = Heap::new(HeapConfig {
+        initial_threshold: 1 << 12,
+        min_threshold: 1 << 10,
+        ..HeapConfig::default()
+    });
     let m = heap.register_mutator();
     let mut roots: Vec<Value> = Vec::new();
     for i in 0..64 {

@@ -348,6 +348,9 @@ impl<'p> Scheduler<'p> {
             }
         }
 
+        // One flush at end of simulation, mirroring the interpreter: the
+        // metrics registry's lock must stay off the allocation path.
+        self.heap.publish_metrics();
         Ok(SimStats {
             virtual_elapsed: self.threads.iter().map(|t| t.vtime).max().unwrap_or(0),
             instructions: self.instructions,

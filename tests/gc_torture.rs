@@ -21,7 +21,11 @@ fn run_tiny_heap_interp(src: &str) -> (String, tetra::RunStats) {
     let p = Tetra::compile(src).unwrap();
     let console = BufferConsole::new();
     let config = InterpConfig {
-        gc: HeapConfig { initial_threshold: 1 << 12, min_threshold: 1 << 10, stress: false },
+        gc: HeapConfig {
+            initial_threshold: 1 << 12,
+            min_threshold: 1 << 10,
+            ..HeapConfig::default()
+        },
         worker_threads: 4,
         ..InterpConfig::default()
     };
