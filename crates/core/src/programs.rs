@@ -175,6 +175,35 @@ def main():
     )
 }
 
+/// E10 skewed-loop workload: item `i` costs ~i² inner iterations, so a
+/// static contiguous chunking serializes on the last (heaviest) chunk
+/// while the work-stealing pool / the VM's dynamic chunking balance the
+/// tail. `n` is the item count.
+pub fn skewed(n: i64) -> String {
+    format!(
+        "\
+# quadratic per-item work: sum 1 through i*i
+def work(i int) int:
+    s = 0
+    j = 1
+    while j <= i * i:
+        s += j
+        j += 1
+    return s
+
+def main():
+    n = {n}
+    results = fill(n, 0)
+    parallel for i in [1 ... n]:
+        results[i - 1] = work(i)
+    total = 0
+    for r in results:
+        total += r
+    print(\"skewed total: \", total)
+"
+    )
+}
+
 /// E7 lock-contention microbenchmark: `iters` locked increments spread
 /// over the workers.
 pub fn locked_counter(iters: i64) -> String {

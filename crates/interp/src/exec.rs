@@ -14,12 +14,16 @@
 
 use crate::hooks::{ExecEvent, Loc};
 use crate::thread::{SpawnRoots, ThreadCtx, THREAD_STACK_SIZE};
+use crate::Shared;
 
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use tetra_ast::{AssignOp, Block, Expr, NodeId, Stmt, StmtKind, Target};
 use tetra_intern::Symbol;
 use tetra_runtime::{
-    Env, ErrorKind, Object, RuntimeError, SlotLayout, ThreadKind, ThreadState, Value,
+    Env, ErrorKind, MutatorGuard, Object, RuntimeError, SlotLayout, ThreadCell, ThreadKind,
+    ThreadState, Value,
 };
 
 /// Control flow result of a statement.
@@ -331,10 +335,73 @@ impl ThreadCtx {
         result
     }
 
-    /// Spawn one thread per child statement and join them all.
+    /// Run one logical thread per child statement and join them all. On
+    /// the pool path the arms execute as pool tasks (no OS-thread spawn);
+    /// `--no-pool` restores one dedicated thread per arm.
     fn exec_parallel(&mut self, body: &Block) -> Result<(), RuntimeError> {
-        let handles = self.spawn_statements(body, ThreadKind::Parallel)?;
-        self.join_children(handles)
+        if !self.shared.config.use_pool {
+            let handles = self.spawn_statements(body, ThreadKind::Parallel)?;
+            return self.join_children(handles);
+        }
+        self.parallel_pooled(body)
+    }
+
+    /// `parallel:` arms as pool tasks: still one logical Tetra thread per
+    /// arm (the registry, debugger and flame views are unchanged), but the
+    /// arm count is decoupled from the OS thread count — extra arms queue
+    /// on the pool, and the parent helps while it waits.
+    fn parallel_pooled(&mut self, body: &Block) -> Result<(), RuntimeError> {
+        if body.stmts.is_empty() {
+            return Ok(());
+        }
+        let n = body.stmts.len();
+        let frames = self.current_env().frames().to_vec();
+        let spawn_node = self.current_stack_node();
+        let arms = Arc::new(body.clone());
+        let results: Arc<Mutex<Vec<Option<RuntimeError>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let mut tasks: Vec<Box<dyn FnOnce() + Send>> = Vec::with_capacity(n);
+        for i in 0..n {
+            // Register the arm with the GC and the thread registry before
+            // it is queued, exactly as the spawn path does.
+            let guard = self
+                .shared
+                .heap
+                .register_spawned(&SpawnRoots { frames: frames.clone(), values: vec![] });
+            let cell = self.shared.threads.spawn(Some(self.cell.id), ThreadKind::Parallel);
+            self.emit(ExecEvent::ThreadStart {
+                id: cell.id,
+                kind: ThreadKind::Parallel,
+                parent: Some(self.cell.id),
+                line: arms.stmts[i].span.line,
+            });
+            let env = Env::from_frames(frames.clone());
+            let shared = self.shared.clone();
+            let arms = arms.clone();
+            let results = results.clone();
+            tasks.push(Box::new(move || {
+                let mut ctx = ThreadCtx::new_child(shared, guard, cell, env, vec![], spawn_node);
+                let r = ctx.exec_stmt(&arms.stmts[i]);
+                ctx.finish_thread();
+                if let Err(e) = r {
+                    results.lock()[i] = Some(e);
+                }
+            }));
+        }
+        self.cell.set_state(ThreadState::Joining);
+        let pool_result = self.safe_region(|| self.shared.pool().run_calls(tasks));
+        self.cell.set_state(ThreadState::Running);
+        // First error in statement order, matching the join order of the
+        // spawn path.
+        let first_error = results.lock().iter_mut().find_map(|r| r.take());
+        match (first_error, pool_result) {
+            (Some(e), _) => Err(e),
+            (None, Err(_)) => Err(self.err(
+                ErrorKind::ThreadError,
+                "a spawned thread panicked (this is a bug in the interpreter)",
+            )),
+            (None, Ok(())) => Ok(()),
+        }
     }
 
     /// Spawn one thread per child statement without joining.
@@ -353,9 +420,12 @@ impl ThreadCtx {
         // Children attribute to the call path that spawned them until they
         // call a function of their own.
         let spawn_node = self.current_stack_node();
-        let mut handles = Vec::with_capacity(body.stmts.len());
-        for stmt in &body.stmts {
-            let stmt: Stmt = stmt.clone();
+        // One shared clone of the block; each arm executes its own
+        // statement out of it by index.
+        let arms = Arc::new(body.clone());
+        let mut handles = Vec::with_capacity(arms.stmts.len());
+        for i in 0..arms.stmts.len() {
+            let arms = arms.clone();
             let shared = self.shared.clone();
             let env = Env::from_frames(frames.clone());
             // Register the child with the GC before its OS thread exists.
@@ -367,7 +437,7 @@ impl ThreadCtx {
                 id: cell.id,
                 kind,
                 parent: Some(self.cell.id),
-                line: stmt.span.line,
+                line: arms.stmts[i].span.line,
             });
             let handle = std::thread::Builder::new()
                 .name(format!("tetra-{}", cell.id))
@@ -375,7 +445,7 @@ impl ThreadCtx {
                 .spawn(move || {
                     let mut ctx =
                         ThreadCtx::new_child(shared, guard, cell, env, vec![], spawn_node);
-                    let result = ctx.exec_stmt(&stmt).map(|_| ());
+                    let result = ctx.exec_stmt(&arms.stmts[i]).map(|_| ());
                     ctx.finish_thread();
                     result
                 })
@@ -395,23 +465,148 @@ impl ThreadCtx {
         if items.is_empty() {
             return Ok(());
         }
-        let workers = self.shared.config.worker_threads.clamp(1, items.len());
+        if !self.shared.config.use_pool {
+            return self.parallel_for_spawned(var, stmt_id, items, body);
+        }
+        self.parallel_for_pooled(var, stmt_id, items, body)
+    }
+
+    /// `parallel for` on the work-stealing pool: the item snapshot stays
+    /// rooted in the parent, workers receive index ranges that split
+    /// adaptively as they are stolen, and `worker_threads` pre-created
+    /// logical Tetra threads give every range a stable identity (debugger,
+    /// race detector, flame) no matter which pool thread runs it.
+    fn parallel_for_pooled(
+        &mut self,
+        var: Symbol,
+        stmt_id: NodeId,
+        items: Vec<Value>,
+        body: &Block,
+    ) -> Result<(), RuntimeError> {
+        let len = items.len();
+        let workers = self.shared.config.worker_threads.clamp(1, len);
         let frames = self.current_env().frames().to_vec();
         let spawn_node = self.current_stack_node();
         // The resolver's worker-frame layout puts the induction variable at
         // slot 0; an empty layout means all-dynamic resolution.
         let layout = self.shared.typed.resolution.pfor_layout(stmt_id);
+        let use_slots = !layout.is_empty();
+        // Root the snapshot in the parent for the whole loop: no per-worker
+        // item copies, and the ranges below are plain indices.
+        let mark = self.temp_mark();
+        for v in &items {
+            self.push_temp(*v);
+        }
+        // Pre-create the logical workers; executors check one out per range.
+        let mut slots = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let guard = self
+                .shared
+                .heap
+                .register_spawned(&SpawnRoots { frames: frames.clone(), values: vec![] });
+            let cell = self.shared.threads.spawn(Some(self.cell.id), ThreadKind::ParallelFor);
+            self.emit(ExecEvent::ThreadStart {
+                id: cell.id,
+                kind: ThreadKind::ParallelFor,
+                parent: Some(self.cell.id),
+                line: self.line,
+            });
+            let env = Env::from_frames(frames.clone()).with_private_layout(layout.clone());
+            slots.push(Some(WorkerSlot::Fresh { guard, cell, env }));
+        }
+        let job = Arc::new(PforJob {
+            shared: self.shared.clone(),
+            body: Arc::new(body.clone()),
+            items: Arc::new(items),
+            var,
+            use_slots,
+            spawn_node,
+            slots: Mutex::new(slots),
+            next_slot: AtomicUsize::new(0),
+            available: Condvar::new(),
+            error: Mutex::new(None),
+            cancelled: AtomicBool::new(false),
+        });
+        // Ranges split down to this grain as they run and get stolen.
+        let grain = (len / (workers * 8)).max(1);
+        let run_job = job.clone();
+        self.cell.set_state(ThreadState::Joining);
+        // The parent waits inside a safe region. It may execute ranges
+        // itself as a helping submitter: those run on the per-worker
+        // mutators checked out above, so a collection can still stop the
+        // world while the parent "blocks" here.
+        let (pool_result, mut ctxs) = self.safe_region(|| {
+            let r =
+                self.shared.pool().run_range(len, grain, move |lo, hi| run_job.run_range(lo, hi));
+            // Materialize workers that never ran an item while still in
+            // the safe region: `new_child` waits out pending collections,
+            // which needs this thread to count as parked.
+            let mut ctxs: Vec<Box<ThreadCtx>> = Vec::with_capacity(workers);
+            for slot in job.slots.lock().drain(..) {
+                match slot {
+                    Some(WorkerSlot::Ready(ctx)) => ctxs.push(ctx),
+                    Some(WorkerSlot::Fresh { guard, cell, env }) => {
+                        ctxs.push(Box::new(ThreadCtx::new_child(
+                            self.shared.clone(),
+                            guard,
+                            cell,
+                            env,
+                            vec![],
+                            spawn_node,
+                        )));
+                    }
+                    None => {}
+                }
+            }
+            (r, ctxs)
+        });
+        self.cell.set_state(ThreadState::Running);
+        // Tear the logical workers down: flush counters, emit spans and
+        // thread-end events.
+        for ctx in ctxs.iter_mut() {
+            ctx.finish_thread();
+        }
+        drop(ctxs);
+        self.truncate_temps(mark);
+        let first_error = job.error.lock().take();
+        match (first_error, pool_result) {
+            (Some(e), _) => Err(e),
+            (None, Err(_)) => Err(self.err(
+                ErrorKind::ThreadError,
+                "a spawned thread panicked (this is a bug in the interpreter)",
+            )),
+            (None, Ok(())) => Ok(()),
+        }
+    }
+
+    /// The `--no-pool` fallback: one freshly spawned OS thread per static
+    /// contiguous chunk (the pre-pool behaviour, kept as an escape hatch
+    /// and as the differential baseline for the pool path).
+    fn parallel_for_spawned(
+        &mut self,
+        var: Symbol,
+        stmt_id: NodeId,
+        items: Vec<Value>,
+        body: &Block,
+    ) -> Result<(), RuntimeError> {
+        let workers = self.shared.config.worker_threads.clamp(1, items.len());
+        let frames = self.current_env().frames().to_vec();
+        let spawn_node = self.current_stack_node();
+        let layout = self.shared.typed.resolution.pfor_layout(stmt_id);
+        let body = Arc::new(body.clone());
         // Contiguous chunks, as even as possible.
         let per = items.len().div_ceil(workers);
         let mut handles = Vec::with_capacity(workers);
         for chunk in items.chunks(per) {
-            let chunk: Vec<Value> = chunk.to_vec();
             let shared = self.shared.clone();
-            let body: Block = body.clone();
+            let body = body.clone();
             let layout: Arc<SlotLayout> = layout.clone();
-            let guard = shared
-                .heap
-                .register_spawned(&SpawnRoots { frames: frames.clone(), values: chunk.clone() });
+            // One copy of the chunk: it roots the items from registration
+            // until the thread starts, then becomes the context's initial
+            // temp roots.
+            let roots = SpawnRoots { frames: frames.clone(), values: chunk.to_vec() };
+            let guard = shared.heap.register_spawned(&roots);
+            let chunk = roots.values;
             let cell = shared.threads.spawn(Some(self.cell.id), ThreadKind::ParallelFor);
             self.emit(ExecEvent::ThreadStart {
                 id: cell.id,
@@ -426,10 +621,11 @@ impl ThreadCtx {
                 .name(format!("tetra-{}", cell.id))
                 .stack_size(THREAD_STACK_SIZE)
                 .spawn(move || {
-                    let mut ctx =
-                        ThreadCtx::new_child(shared, guard, cell, env, chunk.clone(), spawn_node);
+                    let n = chunk.len();
+                    let mut ctx = ThreadCtx::new_child(shared, guard, cell, env, chunk, spawn_node);
                     let mut result = Ok(());
-                    for item in chunk {
+                    for i in 0..n {
+                        let item = ctx.temps[i];
                         if use_slots {
                             ctx.current_env().write_slot(0, 0, item);
                         } else {
@@ -504,5 +700,126 @@ impl ThreadCtx {
             tetra_obs::thread_span(self.cell.id, &name, self.span_start_ns);
         }
         self.emit(ExecEvent::ThreadEnd { id: self.cell.id });
+    }
+}
+
+/// A pooled `parallel for`'s logical worker, parked between ranges.
+enum WorkerSlot {
+    /// Registered with the GC and thread registry; no context built yet.
+    /// Whichever executor first checks the slot out builds the context
+    /// (and thereby exits the spawn safe-region on *its* thread — doing
+    /// that on the submitting thread could deadlock the collector).
+    Fresh { guard: MutatorGuard, cell: Arc<ThreadCell>, env: Env },
+    /// A context left behind by a previous range execution.
+    Ready(Box<ThreadCtx>),
+}
+
+/// Shared state of one pooled `parallel for`: the body (cloned once), the
+/// item snapshot (rooted by the parent), and the checked-out logical
+/// worker contexts.
+struct PforJob {
+    shared: Arc<Shared>,
+    body: Arc<Block>,
+    items: Arc<Vec<Value>>,
+    var: Symbol,
+    use_slots: bool,
+    spawn_node: u32,
+    /// `worker_threads` slots; executors check one out per range. With the
+    /// parent helping there can be `workers + 1` concurrent executors, so
+    /// a checkout may briefly wait — never across a range boundary, which
+    /// keeps the wait deadlock-free.
+    slots: Mutex<Vec<Option<WorkerSlot>>>,
+    /// Rotates checkouts across the slots so consecutive ranges land on
+    /// *different* logical threads even when one executor drains the whole
+    /// loop (a one-core host): the program still presents `worker_threads`
+    /// threads to the debugger and the lockset race detector, exactly as
+    /// the spawn model did.
+    next_slot: AtomicUsize,
+    available: Condvar,
+    error: Mutex<Option<RuntimeError>>,
+    /// Set on the first error: later ranges drain without executing,
+    /// mirroring the VM model's cancel-on-error.
+    cancelled: AtomicBool,
+}
+
+impl PforJob {
+    fn checkout(&self) -> Box<ThreadCtx> {
+        let mut slots = self.slots.lock();
+        loop {
+            // Prefer the next slot in rotation (identity striping); settle
+            // for any free slot rather than wait while one is available.
+            let n = slots.len();
+            let want = self.next_slot.fetch_add(1, Ordering::Relaxed) % n.max(1);
+            let pos = if slots[want].is_some() {
+                Some(want)
+            } else {
+                slots.iter().position(|s| s.is_some())
+            };
+            if let Some(pos) = pos {
+                let slot = slots[pos].take().expect("position() found Some");
+                drop(slots);
+                return match slot {
+                    WorkerSlot::Ready(ctx) => {
+                        // The context idled in a GC safe region; leave it
+                        // (waiting out any in-progress collection) before
+                        // running user code on it again.
+                        ctx.resume_idle();
+                        ctx
+                    }
+                    WorkerSlot::Fresh { guard, cell, env } => Box::new(ThreadCtx::new_child(
+                        self.shared.clone(),
+                        guard,
+                        cell,
+                        env,
+                        vec![],
+                        self.spawn_node,
+                    )),
+                };
+            }
+            self.available.wait(&mut slots);
+        }
+    }
+
+    fn checkin(&self, ctx: Box<ThreadCtx>) {
+        // Once in the slot no OS thread drives this context, so it cannot
+        // reach a safepoint: park its mutator in the idle safe region (roots
+        // published) *before* exposing it, or a stress collection would wait
+        // on it forever.
+        ctx.suspend_idle();
+        let mut slots = self.slots.lock();
+        if let Some(pos) = slots.iter().position(|s| s.is_none()) {
+            slots[pos] = Some(WorkerSlot::Ready(ctx));
+        }
+        drop(slots);
+        self.available.notify_one();
+    }
+
+    /// Execute items `[lo, hi)` on a checked-out logical worker. Called
+    /// from pool workers and from the helping submitter.
+    fn run_range(&self, lo: usize, hi: usize) {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut ctx = self.checkout();
+        for i in lo..hi {
+            if self.cancelled.load(Ordering::Relaxed) {
+                break;
+            }
+            let item = self.items[i];
+            if self.use_slots {
+                ctx.current_env().write_slot(0, 0, item);
+            } else {
+                ctx.current_env().define(self.var, item);
+            }
+            if let Err(e) = ctx.exec_block(&self.body) {
+                let mut err = self.error.lock();
+                if err.is_none() {
+                    *err = Some(e);
+                }
+                self.cancelled.store(true, Ordering::Relaxed);
+                break;
+            }
+        }
+        self.checkin(ctx);
     }
 }

@@ -41,9 +41,10 @@ mod thread;
 use hooks::DebugHook;
 use parking_lot::Mutex;
 use std::sync::Arc;
+use std::sync::OnceLock;
 use tetra_runtime::{
-    ConsoleRef, ErrorKind, GcStats, Heap, HeapConfig, LockRegistry, RuntimeError, ThreadRegistry,
-    ThreadSnapshot,
+    ConsoleRef, ErrorKind, GcStats, Heap, HeapConfig, LockRegistry, PoolStats, RuntimeError,
+    ThreadRegistry, ThreadSnapshot, WorkerPool,
 };
 use tetra_types::TypedProgram;
 use thread::ThreadCtx;
@@ -63,6 +64,10 @@ pub struct InterpConfig {
     /// Join still-running `background` threads when `main` returns (default
     /// on: a library cannot kill threads the way process exit does).
     pub join_background: bool,
+    /// Run `parallel for` / `parallel:` on the persistent work-stealing
+    /// pool (default). Off (`--no-pool`) falls back to the historical
+    /// spawn-one-thread-per-chunk path.
+    pub use_pool: bool,
 }
 
 impl Default for InterpConfig {
@@ -73,6 +78,7 @@ impl Default for InterpConfig {
             gc: HeapConfig::default(),
             detect_deadlocks: true,
             join_background: true,
+            use_pool: true,
         }
     }
 }
@@ -85,6 +91,9 @@ pub struct RunStats {
     pub threads_spawned: u32,
     /// (total lock acquisitions, contended acquisitions).
     pub lock_acquisitions: (u64, u64),
+    /// Work-stealing pool counters (all zero under `--no-pool` or when no
+    /// parallel construct ran).
+    pub pool: PoolStats,
 }
 
 /// Program-wide state shared by every interpreter thread.
@@ -98,6 +107,17 @@ pub struct Shared {
     pub hook: Option<Arc<dyn DebugHook>>,
     pub gil: Option<Arc<Mutex<()>>>,
     pub(crate) background: Mutex<Vec<std::thread::JoinHandle<Result<(), RuntimeError>>>>,
+    /// The work-stealing pool, created lazily on the first parallel
+    /// construct and reused for the rest of the run.
+    pub(crate) pool: OnceLock<WorkerPool>,
+}
+
+impl Shared {
+    pub(crate) fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| {
+            WorkerPool::new(self.config.worker_threads.max(1), thread::THREAD_STACK_SIZE)
+        })
+    }
 }
 
 /// The interpreter: build once per program run.
@@ -141,6 +161,7 @@ impl Interp {
                 hook,
                 gil,
                 background: Mutex::new(Vec::new()),
+                pool: OnceLock::new(),
             }),
         }
     }
@@ -201,9 +222,12 @@ impl Interp {
             drop(background);
         }
         drop(ctx);
-        // Allocator/collector counters go to the metrics registry once per
-        // run — never from the allocation hot path.
+        // Allocator/collector/pool counters go to the metrics registry once
+        // per run — never from the hot paths.
         self.shared.heap.publish_metrics();
+        if let Some(pool) = self.shared.pool.get() {
+            pool.publish_metrics();
+        }
         result?;
         if let Some(e) = background_error {
             return Err(e);
@@ -212,6 +236,7 @@ impl Interp {
             gc: self.shared.heap.stats(),
             threads_spawned: self.shared.threads.total_spawned(),
             lock_acquisitions: self.shared.locks.contention_stats(),
+            pool: self.shared.pool.get().map(|p| p.stats()).unwrap_or_default(),
         })
     }
 }

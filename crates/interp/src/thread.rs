@@ -193,6 +193,22 @@ impl ThreadCtx {
         self.shared.heap.safe_region(&self.mutator, &view, f)
     }
 
+    /// Publish this thread's roots and enter the idle safe region: called
+    /// when the context is parked with no OS thread driving it (checked in
+    /// between pooled `parallel for` ranges), so collections can still
+    /// stop the world. Must be paired with [`ThreadCtx::resume_idle`]
+    /// before the context executes again.
+    pub fn suspend_idle(&self) {
+        let view = self.roots_view();
+        self.shared.heap.enter_idle_region(&self.mutator, &view);
+    }
+
+    /// Leave the idle safe region (waiting out any in-progress collection
+    /// first); the inverse of [`ThreadCtx::suspend_idle`].
+    pub fn resume_idle(&self) {
+        self.shared.heap.exit_spawn_region(&self.mutator);
+    }
+
     /// Push a temporary root; pair with [`ThreadCtx::truncate_temps`].
     pub fn push_temp(&mut self, v: Value) {
         self.temps.push(v);

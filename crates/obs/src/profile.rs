@@ -342,6 +342,37 @@ pub fn report(trace: &Trace, source_lines: Option<&[String]>) -> String {
         ));
     }
 
+    // --- scheduler pool ------------------------------------------------------
+    // Counters flushed once per run by the work-stealing pool: how the
+    // parallel constructs' tasks spread over the persistent workers, and
+    // how much rebalancing (steals, adaptive range splits) it took.
+    let pool_tasks = trace.metrics.counters.get("pool.tasks").copied().unwrap_or(0);
+    if pool_tasks > 0 {
+        let workers = trace.metrics.counters.get("pool.workers").copied().unwrap_or(0);
+        let submitter = trace.metrics.counters.get("pool.submitter_tasks").copied().unwrap_or(0);
+        let steals = trace.metrics.counters.get("pool.steals").copied().unwrap_or(0);
+        let stolen = trace.metrics.counters.get("pool.tasks_stolen").copied().unwrap_or(0);
+        let splits = trace.metrics.counters.get("pool.range_splits").copied().unwrap_or(0);
+        let high = trace.metrics.counters.get("pool.queue_high_water").copied().unwrap_or(0);
+        out.push_str(&format!(
+            "\n-- scheduler pool --\nworkers: {}   tasks: {} ({} run by submitters)   \
+             steals: {} ({} tasks)   range splits: {}   queue high-water: {}\n",
+            workers, pool_tasks, submitter, steals, stolen, splits, high
+        ));
+        for w in 0..workers {
+            let t = trace.metrics.counters.get(&format!("pool.worker.{w}.tasks"));
+            let busy = trace.metrics.counters.get(&format!("pool.worker.{w}.busy_ns"));
+            if let (Some(&t), Some(&busy)) = (t, busy) {
+                out.push_str(&format!(
+                    "  worker {:<3} tasks: {:>6}   busy: {:>10}\n",
+                    w,
+                    t,
+                    fmt_ns(busy)
+                ));
+            }
+        }
+    }
+
     // --- VM ------------------------------------------------------------------
     let mut batches = SpanStat::default();
     let mut instructions: u64 = 0;
@@ -478,6 +509,31 @@ mod tests {
         assert!(text.contains("slot-resolved: 75 (75.0%)"), "{text}");
         assert!(text.contains("dynamic fallbacks: 25"), "{text}");
         assert!(text.contains("frames walked in fallbacks: 40"), "{text}");
+    }
+
+    #[test]
+    fn pool_counters_render_per_worker_rows() {
+        let mut trace = Trace::default();
+        trace.metrics.counters.insert("pool.workers".into(), 2);
+        trace.metrics.counters.insert("pool.tasks".into(), 10);
+        trace.metrics.counters.insert("pool.submitter_tasks".into(), 1);
+        trace.metrics.counters.insert("pool.steals".into(), 3);
+        trace.metrics.counters.insert("pool.tasks_stolen".into(), 5);
+        trace.metrics.counters.insert("pool.range_splits".into(), 4);
+        trace.metrics.counters.insert("pool.queue_high_water".into(), 6);
+        trace.metrics.counters.insert("pool.worker.0.tasks".into(), 7);
+        trace.metrics.counters.insert("pool.worker.0.busy_ns".into(), 1_500_000);
+        trace.metrics.counters.insert("pool.worker.1.tasks".into(), 2);
+        trace.metrics.counters.insert("pool.worker.1.busy_ns".into(), 400_000);
+        let text = report(&trace, None);
+        assert!(text.contains("scheduler pool"), "{text}");
+        assert!(text.contains("workers: 2"), "{text}");
+        assert!(text.contains("steals: 3 (5 tasks)"), "{text}");
+        assert!(text.contains("range splits: 4"), "{text}");
+        assert!(text.contains("worker 0"), "{text}");
+        assert!(text.contains("worker 1"), "{text}");
+        // Without pool counters the section stays out of the report.
+        assert!(!report(&Trace::default(), None).contains("scheduler pool"));
     }
 
     #[test]

@@ -515,6 +515,24 @@ impl Heap {
         }
     }
 
+    /// Put a mutator back into the spawn-style safe region with `roots`
+    /// published: used for a logical thread going *idle* with no OS thread
+    /// driving it (a pooled `parallel for` context checked in between
+    /// ranges). Collections proceed while it sits idle; the next executor
+    /// leaves the region again via [`Heap::exit_spawn_region`].
+    pub fn enter_idle_region(&self, m: &MutatorGuard, roots: &dyn RootSource) {
+        let mut sink = RootSink::default();
+        roots.roots(&mut sink);
+        let mut ctrl = self.ctrl.lock();
+        if let Some(slot) = ctrl.slots.get_mut(&m.id) {
+            slot.safe_region = true;
+            slot.values = sink.values;
+            slot.frames = sink.frames;
+        }
+        // A collector may be waiting for this mutator to stop running.
+        self.cv_mutators.notify_all();
+    }
+
     /// Cheap safepoint: parks the thread iff a collection has been requested.
     #[inline]
     pub fn poll(&self, m: &MutatorGuard, roots: &dyn RootSource) {

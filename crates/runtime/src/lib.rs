@@ -9,6 +9,8 @@
 //! * [`mod@env`] — the private/shared symbol tables of the paper (§IV);
 //! * [`locks`] — named locks for `lock <name>:` with deadlock and re-entry
 //!   detection;
+//! * [`pool`] — the persistent work-stealing worker pool both engines'
+//!   parallel constructs run on;
 //! * [`threads`] — Tetra thread identity and live state for the debugger;
 //! * [`console`] — pluggable program I/O (real stdout or captured buffers);
 //! * [`error`] — structured runtime errors with source lines.
@@ -18,6 +20,7 @@ pub mod env;
 pub mod error;
 pub mod heap;
 pub mod locks;
+pub mod pool;
 pub mod threads;
 pub mod value;
 
@@ -26,5 +29,6 @@ pub use env::{Env, Frame, FrameRef, SlotLayout};
 pub use error::{ErrorKind, RuntimeError};
 pub use heap::{GcStats, Heap, HeapConfig, MutatorGuard, NoRoots, RootSink, RootSource};
 pub use locks::{LockRegistry, LockRegistryRef};
+pub use pool::{PoolPanic, PoolStats, WorkerPool};
 pub use threads::{ThreadCell, ThreadKind, ThreadRegistry, ThreadSnapshot, ThreadState};
 pub use value::{DictKey, GcRef, Object, Value};

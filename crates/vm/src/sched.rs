@@ -18,7 +18,7 @@
 //! which pins speedup at ≈1× — the Python contrast of paper §I.
 
 use crate::bytecode::CompiledProgram;
-use crate::vm::{CostClass, Feed, Outcome, Registry, Table, VmState, VmThread, World};
+use crate::vm::{CostClass, Feed, FeedShare, Outcome, Registry, Table, VmState, VmThread, World};
 use std::collections::HashMap;
 use std::sync::Arc;
 use tetra_runtime::{
@@ -63,13 +63,22 @@ impl Default for CostModel {
 pub struct VmConfig {
     /// Worker count for `parallel for` (the simulated "cores"/threads T).
     pub workers: usize,
+    /// Model the runtime pool's adaptive chunking: workers claim
+    /// shrinking chunks from a shared cursor instead of taking one static
+    /// contiguous chunk each (the `--no-pool` model).
+    pub dynamic_chunking: bool,
     pub cost: CostModel,
     pub gc: HeapConfig,
 }
 
 impl Default for VmConfig {
     fn default() -> Self {
-        VmConfig { workers: 4, cost: CostModel::default(), gc: HeapConfig::default() }
+        VmConfig {
+            workers: 4,
+            dynamic_chunking: true,
+            cost: CostModel::default(),
+            gc: HeapConfig::default(),
+        }
     }
 }
 
@@ -408,15 +417,43 @@ impl<'p> Scheduler<'p> {
                 let workers = self.config.workers.clamp(1, items.len());
                 let per = items.len().div_ceil(workers);
                 let spawn_cost = self.config.cost.spawn;
+                // Dynamic chunking: all workers read one shared table and
+                // claim shrinking ranges from a common cursor, modeling the
+                // interpreter pool's split-on-steal. Static (--no-pool):
+                // each worker gets one contiguous chunk up front.
+                let share = if self.config.dynamic_chunking {
+                    Some(std::sync::Arc::new(FeedShare::new(items.len(), workers)))
+                } else {
+                    None
+                };
+                let all_items = share.as_ref().map(|_| self.registry.new_table(items.clone()));
                 let mut children = Vec::with_capacity(workers);
-                for (i, chunk) in items.chunks(per).enumerate() {
+                for i in 0..workers {
+                    let (items_table, lo, hi) = match (&share, &all_items) {
+                        (Some(share), Some(table)) => {
+                            // `len >= workers`, so every worker's first
+                            // claim is non-empty.
+                            let (lo, hi) = share.claim().expect("initial claim");
+                            (table.clone(), lo, hi)
+                        }
+                        _ => {
+                            let lo = i * per;
+                            let hi = ((i + 1) * per).min(items.len());
+                            if lo >= hi {
+                                break;
+                            }
+                            // The chunk lives in a registered table so its
+                            // object elements stay rooted for the loop.
+                            (self.registry.new_table(items[lo..hi].to_vec()), 0, hi - lo)
+                        }
+                    };
                     let nlocals = self.program.unit(thunk).nlocals as usize;
                     let mut init = vec![Value::None; nlocals];
-                    init[0] = chunk[0];
+                    init[0] = items_table.read()[lo];
                     let locals = self.registry.new_table(init);
                     let mut outers = vec![parent_frame.0.clone()];
                     outers.extend(parent_frame.1.iter().cloned());
-                    let start = parent_time + spawn_cost * (i as u64 + 1);
+                    let start = parent_time + spawn_cost * (children.len() as u64 + 1);
                     let id = self.new_thread(
                         Some(tid),
                         thunk,
@@ -425,13 +462,18 @@ impl<'p> Scheduler<'p> {
                         start,
                         spawn_node,
                     );
-                    // The chunk lives in a registered table so its object
-                    // elements stay rooted for the whole loop.
-                    let items = self.registry.new_table(chunk.to_vec());
-                    self.thread(id).feed =
-                        Some(Feed { items, next: 1, unit: thunk, locals, outers });
+                    self.thread(id).feed = Some(Feed {
+                        items: items_table,
+                        next: lo + 1,
+                        end: hi,
+                        unit: thunk,
+                        locals,
+                        outers,
+                        share: share.clone(),
+                    });
                     children.push(id);
                 }
+                let workers = children.len();
                 {
                     let t = self.thread(tid);
                     t.vtime += spawn_cost * workers as u64;
@@ -567,7 +609,13 @@ impl<'p> Scheduler<'p> {
                 {
                     let t = self.thread(tid);
                     t.error = Some(err);
-                    t.feed = None; // no more items for a failed worker
+                    // No more items for a failed worker — and with dynamic
+                    // chunking, cancel the unclaimed remainder of the loop
+                    // (the interpreter pool's cancel flag does the same).
+                    if let Some(share) = t.feed.as_ref().and_then(|f| f.share.as_ref()) {
+                        share.drain();
+                    }
+                    t.feed = None;
                 }
                 self.finish_or_refeed(tid)
             }
@@ -577,14 +625,25 @@ impl<'p> Scheduler<'p> {
     /// A thread's outermost frame returned: feed it the next parallel-for
     /// item, or mark it done and wake its joining parent.
     fn finish_or_refeed(&mut self, tid: u32) -> Result<(), RuntimeError> {
-        // Refeed parallel-for workers.
+        // Refeed parallel-for workers: next item of the current chunk, or
+        // (dynamic chunking) a freshly claimed chunk once this one is dry.
         let refeed = {
             let t = self.thread(tid);
             match &mut t.feed {
-                Some(feed) if feed.next < feed.items.read().len() => {
-                    let item = feed.items.read()[feed.next];
-                    feed.next += 1;
-                    Some((feed.unit, feed.locals.clone(), feed.outers.clone(), item))
+                Some(feed) => {
+                    if feed.next >= feed.end {
+                        if let Some((lo, hi)) = feed.share.as_ref().and_then(|s| s.claim()) {
+                            feed.next = lo;
+                            feed.end = hi;
+                        }
+                    }
+                    if feed.next < feed.end {
+                        let item = feed.items.read()[feed.next];
+                        feed.next += 1;
+                        Some((feed.unit, feed.locals.clone(), feed.outers.clone(), item))
+                    } else {
+                        None
+                    }
                 }
                 _ => None,
             }

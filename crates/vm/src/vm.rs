@@ -103,14 +103,59 @@ pub enum VmState {
 
 /// Work items fed to a parallel-for worker. The items live in a
 /// registry-registered table so they stay GC-rooted for the loop's
-/// lifetime.
+/// lifetime. A worker owns the half-open index range `next..end`; with
+/// dynamic chunking it claims a fresh range from the loop's [`FeedShare`]
+/// whenever its own runs dry.
 pub struct Feed {
     pub items: Table,
     pub next: usize,
+    /// One past the last index of the worker's current chunk.
+    pub end: usize,
     /// The thunk re-entered for each item.
     pub unit: u16,
     pub locals: Table,
     pub outers: Vec<Table>,
+    /// The loop-wide claim cursor (dynamic chunking); `None` under static
+    /// chunking, where the worker's `next..end` is its entire share.
+    pub share: Option<std::sync::Arc<FeedShare>>,
+}
+
+/// The deterministic model of the runtime pool's adaptive chunking: one
+/// cursor per `parallel for`, shared by its workers. Each claim takes a
+/// guided-self-scheduling chunk — half the remaining work divided by the
+/// worker count, so chunks start large (low dispatch overhead) and shrink
+/// toward the tail (load balance), mirroring the real pool's
+/// split-in-half-on-steal behaviour. Claim order is decided by the
+/// virtual-time scheduler, so simulated runs stay exactly reproducible.
+pub struct FeedShare {
+    cursor: parking_lot::Mutex<usize>,
+    len: usize,
+    workers: usize,
+}
+
+impl FeedShare {
+    pub fn new(len: usize, workers: usize) -> Self {
+        FeedShare { cursor: parking_lot::Mutex::new(0), len, workers: workers.max(1) }
+    }
+
+    /// Claim the next chunk, or `None` when the loop is exhausted.
+    pub fn claim(&self) -> Option<(usize, usize)> {
+        let mut cur = self.cursor.lock();
+        if *cur >= self.len {
+            return None;
+        }
+        let remaining = self.len - *cur;
+        let take = (remaining / (2 * self.workers)).max(1);
+        let lo = *cur;
+        *cur += take;
+        Some((lo, lo + take))
+    }
+
+    /// Mark the loop exhausted (a worker died with an error: the remaining
+    /// items are cancelled, like the interpreter pool's cancel flag).
+    pub fn drain(&self) {
+        *self.cursor.lock() = self.len;
+    }
 }
 
 /// An installed `try:` handler (the VM's unwind target).

@@ -14,6 +14,7 @@ fn shipped_examples_run_with_expected_outputs() {
         ("primes.tet", &[], "primes below 20000: 2262\n"),
         ("mergesort.tet", &[], "sorted: true, first: 0, last: 995\n"),
         ("matmul.tet", &[], "checksum: 27338\n"),
+        ("skewed.tet", &[], "skewed total: 111656896\n"),
         ("background_logger.tet", &[], "events logged: true\n"),
     ];
     for (name, input, expected) in cases {
@@ -34,7 +35,7 @@ fn retry_input_example_recovers_from_bad_input() {
 
 #[test]
 fn deterministic_examples_agree_across_engines() {
-    for name in ["mergesort.tet", "matmul.tet", "wordcount.tet", "parallel_sum.tet"] {
+    for name in ["mergesort.tet", "matmul.tet", "wordcount.tet", "parallel_sum.tet", "skewed.tet"] {
         let p = Tetra::compile(&example_source(name)).unwrap();
         p.run_both(&[]).unwrap_or_else(|e| panic!("{name}: {e}"));
     }

@@ -141,17 +141,21 @@ def main():
 
 #[test]
 fn catches_parallel_for_worker_error() {
+    // Which failing worker's error reaches the catch is a scheduling
+    // choice (the first error cancels the rest, and the work-stealing
+    // pool's item-to-worker assignment is not static), so every worker
+    // must fail with the *same* message for the output to be portable.
     let src = "\
 def main():
     a = [1, 2, 3]
     try:
         parallel for i in [0 ... 9]:
-            x = a[i]
+            x = a[5]
     catch err:
         print(\"worker failed: \", err)
 ";
     let out = run_both(src);
-    assert!(out.contains("worker failed: "), "{out}");
+    assert!(out.contains("worker failed: index 5 out of bounds"), "{out}");
 }
 
 #[test]
